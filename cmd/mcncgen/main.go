@@ -1,0 +1,64 @@
+// Command mcncgen generates the synthetic MCNC-20 stand-in circuits
+// and writes them as netlist text files:
+//
+//	mcncgen -scale 0.2 -dir bench_circuits
+//	mcncgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/arch"
+	"repro/internal/circuits"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", "bench_circuits", "output directory")
+		scale = flag.Float64("scale", 1.0, "circuit size multiplier")
+		list  = flag.Bool("list", false, "list the suite and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %6s %5s %4s %8s %8s\n", "circuit", "LUTs", "I/Os", "seq", "FPGA", "density")
+		for _, m := range circuits.MCNC20 {
+			seq := ""
+			if m.Sequential {
+				seq = "yes"
+			}
+			f := arch.MinSquare(m.LUTs, m.IOs)
+			fmt.Printf("%-10s %6d %5d %4s %8s %8.3f\n",
+				m.Name, m.LUTs, m.IOs, seq, f, f.Density(m.LUTs))
+		}
+		return
+	}
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	for _, m := range circuits.MCNC20 {
+		nl, err := circuits.Generate(m.Spec(*scale))
+		if err != nil {
+			fatalf("%s: %v", m.Name, err)
+		}
+		path := filepath.Join(*dir, m.Name+".ckt")
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := nl.Write(f); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		f.Close()
+		fmt.Printf("%-10s -> %s (%d LUTs, %d I/Os)\n", m.Name, path, nl.NumLUTs(), nl.NumIOs())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mcncgen: "+format+"\n", args...)
+	os.Exit(1)
+}

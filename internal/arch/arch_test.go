@@ -1,0 +1,185 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Loc
+		want int
+	}{
+		{Loc{0, 0}, Loc{0, 0}, 0},
+		{Loc{1, 1}, Loc{4, 5}, 7},
+		{Loc{4, 5}, Loc{1, 1}, 7},
+		{Loc{3, 3}, Loc{3, 9}, 6},
+		{Loc{10, 2}, Loc{2, 10}, 16},
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by int16) bool {
+		return Dist(Loc{ax, ay}, Loc{bx, by}) == Dist(Loc{bx, by}, Loc{ax, ay})
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := Loc{int16(ax), int16(ay)}, Loc{int16(bx), int16(by)}, Loc{int16(cx), int16(cy)}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error(err)
+	}
+	nonneg := func(ax, ay, bx, by int16) bool {
+		return Dist(Loc{ax, ay}, Loc{bx, by}) >= 0
+	}
+	if err := quick.Check(nonneg, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinSquare(t *testing.T) {
+	// Cross-check against FPGA sizes published in Table I.
+	cases := []struct {
+		luts, ios int
+		wantN     int
+	}{
+		{1064, 71, 33},  // ex5p
+		{1262, 28, 36},  // apex4
+		{1522, 22, 40},  // alu4
+		{1370, 426, 54}, // dsip: IO-limited
+		{1591, 501, 63}, // des: IO-limited
+		{8383, 144, 92}, // clma
+		{4598, 20, 68},  // ex1010
+		{6406, 135, 81}, // s38417
+	}
+	for _, c := range cases {
+		f := MinSquare(c.luts, c.ios)
+		if f.N != c.wantN {
+			t.Errorf("MinSquare(%d, %d).N = %d, want %d", c.luts, c.ios, f.N, c.wantN)
+		}
+		if f.LogicCapacity() < c.luts {
+			t.Errorf("N=%d cannot hold %d LUTs", f.N, c.luts)
+		}
+		if f.IOCapacity() < c.ios {
+			t.Errorf("N=%d cannot hold %d IOs", f.N, c.ios)
+		}
+	}
+}
+
+func TestDensityMatchesTableI(t *testing.T) {
+	// Spot-check published density values.
+	cases := []struct {
+		luts, ios int
+		want      float64
+	}{
+		{1064, 71, 0.977},  // ex5p
+		{1370, 426, 0.470}, // dsip
+		{8383, 144, 0.990}, // clma
+	}
+	for _, c := range cases {
+		f := MinSquare(c.luts, c.ios)
+		got := f.Density(c.luts)
+		if diff := got - c.want; diff > 0.001 || diff < -0.001 {
+			t.Errorf("Density(%d LUTs on %v) = %.3f, want %.3f", c.luts, f, got, c.want)
+		}
+	}
+}
+
+func TestSlotClassification(t *testing.T) {
+	f := New(4)
+	if !f.IsLogic(Loc{1, 1}) || !f.IsLogic(Loc{4, 4}) {
+		t.Error("grid interior should be logic")
+	}
+	if f.IsLogic(Loc{0, 1}) || f.IsLogic(Loc{5, 2}) {
+		t.Error("perimeter should not be logic")
+	}
+	if !f.IsIO(Loc{0, 1}) || !f.IsIO(Loc{5, 4}) || !f.IsIO(Loc{2, 0}) || !f.IsIO(Loc{3, 5}) {
+		t.Error("perimeter ring should be IO")
+	}
+	for _, corner := range []Loc{{0, 0}, {0, 5}, {5, 0}, {5, 5}} {
+		if f.InBounds(corner) {
+			t.Errorf("corner %v should be out of bounds", corner)
+		}
+		if f.Capacity(corner) != 0 {
+			t.Errorf("corner %v should have zero capacity", corner)
+		}
+	}
+	if f.Capacity(Loc{2, 2}) != 1 {
+		t.Error("logic slot capacity should be CLBCapacity")
+	}
+	if f.Capacity(Loc{0, 3}) != 2 {
+		t.Error("IO slot capacity should be IORat")
+	}
+}
+
+func TestSlotEnumeration(t *testing.T) {
+	f := New(5)
+	logic := f.LogicSlots()
+	if len(logic) != 25 {
+		t.Fatalf("LogicSlots: got %d, want 25", len(logic))
+	}
+	for _, l := range logic {
+		if !f.IsLogic(l) {
+			t.Errorf("LogicSlots returned non-logic %v", l)
+		}
+	}
+	ios := f.IOSlots()
+	if len(ios) != 20 {
+		t.Fatalf("IOSlots: got %d, want 20", len(ios))
+	}
+	seen := map[Loc]bool{}
+	for _, l := range ios {
+		if !f.IsIO(l) {
+			t.Errorf("IOSlots returned non-IO %v", l)
+		}
+		if seen[l] {
+			t.Errorf("IOSlots returned duplicate %v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	f := New(10)
+	if got := f.LogicCapacity(); got != 100 {
+		t.Errorf("LogicCapacity = %d, want 100", got)
+	}
+	if got := f.IOCapacity(); got != 80 {
+		t.Errorf("IOCapacity = %d, want 80", got)
+	}
+	f.CLBCapacity = 4
+	if got := f.LogicCapacity(); got != 400 {
+		t.Errorf("LogicCapacity with cap 4 = %d, want 400", got)
+	}
+}
+
+func TestDelayModel(t *testing.T) {
+	m := DefaultDelayModel()
+	if m.WireDelay(0) != 0 {
+		t.Error("zero distance should have zero wire delay")
+	}
+	if m.WireDelay(7) != 7*m.SegDelay {
+		t.Error("wire delay should be linear in distance")
+	}
+	// Linearity property (Section II-B): delay(a+b) = delay(a)+delay(b).
+	add := func(a, b uint8) bool {
+		return m.WireDelay(int(a)+int(b)) == m.WireDelay(int(a))+m.WireDelay(int(b))
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFPGAString(t *testing.T) {
+	if got := New(33).String(); got != "33 x 33" {
+		t.Errorf("String = %q, want \"33 x 33\"", got)
+	}
+}

@@ -1,0 +1,193 @@
+package circuits
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+)
+
+func TestGenerateMatchesSpec(t *testing.T) {
+	spec := Spec{Name: "t1", LUTs: 200, Inputs: 10, Outputs: 14, RegisteredFrac: 0.2}
+	n, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.NumLUTs(); got != 200 {
+		t.Errorf("LUTs = %d, want 200", got)
+	}
+	if got := n.CountKind(netlist.IPad); got != 10 {
+		t.Errorf("inputs = %d, want 10", got)
+	}
+	if got := n.CountKind(netlist.OPad); got != 14 {
+		t.Errorf("outputs = %d, want 14", got)
+	}
+	// Some LUTs should be registered with frac 0.2.
+	reg := 0
+	n.Cells(func(c *netlist.Cell) {
+		if c.Kind == netlist.LUT && c.Registered {
+			reg++
+		}
+	})
+	if reg < 10 || reg > 100 {
+		t.Errorf("registered count %d implausible for frac 0.2 of 200", reg)
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		t.Errorf("generated netlist must be acyclic: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := MCNC20[0].Spec(0.1)
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := a.SortedCellNames()
+	bn := b.SortedCellNames()
+	if len(an) != len(bn) {
+		t.Fatal("non-deterministic cell count")
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatal("non-deterministic cell names")
+		}
+	}
+	// Same connectivity fingerprint.
+	fp := func(n *netlist.Netlist) string {
+		s := ""
+		n.Cells(func(c *netlist.Cell) {
+			s += c.Name + ":"
+			for _, net := range c.Fanin {
+				if net != netlist.None {
+					s += n.Cell(n.Net(net).Driver).Name + ","
+				}
+			}
+			s += ";"
+		})
+		return s
+	}
+	if fp(a) != fp(b) {
+		t.Error("non-deterministic connectivity")
+	}
+}
+
+func TestGenerateHasReconvergence(t *testing.T) {
+	n, err := Generate(MCNC20[0].Spec(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconvergence requires multi-fanout nets; count them.
+	multi := 0
+	n.Nets(func(net *netlist.Net) {
+		if len(net.Sinks) > 1 {
+			multi++
+		}
+	})
+	if multi < n.NumNets()/10 {
+		t.Errorf("only %d of %d nets have fanout > 1; reconvergence too rare", multi, n.NumNets())
+	}
+}
+
+func TestGenerateLittleDeadLogic(t *testing.T) {
+	n, err := Generate(MCNC20[2].Spec(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 0
+	n.Cells(func(c *netlist.Cell) {
+		if c.Kind == netlist.LUT && len(n.Net(c.Out).Sinks) == 0 {
+			dead++
+		}
+	})
+	if dead > n.NumLUTs()/10 {
+		t.Errorf("%d of %d LUTs are dead; generator wastes too much logic", dead, n.NumLUTs())
+	}
+}
+
+func TestMCNC20TableIStatistics(t *testing.T) {
+	if len(MCNC20) != 20 {
+		t.Fatalf("suite has %d circuits, want 20", len(MCNC20))
+	}
+	for _, m := range MCNC20 {
+		// Published FPGA size must match MinSquare of the cell counts.
+		f := arch.MinSquare(m.LUTs, m.IOs)
+		if f.N != m.PaperSize {
+			t.Errorf("%s: MinSquare gives %d, Table I says %d", m.Name, f.N, m.PaperSize)
+		}
+		got := f.Density(m.LUTs)
+		if d := got - m.PaperDensity; d > 0.002 || d < -0.002 {
+			t.Errorf("%s: density %.3f, Table I says %.3f", m.Name, got, m.PaperDensity)
+		}
+		if m.PaperWLs < m.PaperWInf {
+			t.Errorf("%s: low-stress delay below infinite-resource delay", m.Name)
+		}
+	}
+	// Exactly the documented large circuits.
+	wantLarge := map[string]bool{
+		"frisc": true, "spla": true, "elliptic": true, "ex1010": true,
+		"pdc": true, "s38417": true, "s38584.1": true, "clma": true,
+	}
+	for _, m := range MCNC20 {
+		if m.Large() != wantLarge[m.Name] {
+			t.Errorf("%s: Large() = %v, want %v", m.Name, m.Large(), wantLarge[m.Name])
+		}
+	}
+}
+
+func TestMCNCSpecsGenerate(t *testing.T) {
+	// Every suite member must generate cleanly at small scale and fit
+	// its minimum-square device.
+	for _, m := range MCNC20 {
+		spec := m.Spec(0.05)
+		n, err := Generate(spec)
+		if err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+			continue
+		}
+		f := arch.MinSquare(n.NumLUTs(), n.NumIOs())
+		if f.LogicCapacity() < n.NumLUTs() {
+			t.Errorf("%s: does not fit device", m.Name)
+		}
+	}
+}
+
+func TestPaperTables(t *testing.T) {
+	if len(PaperTableII) != 20 {
+		t.Errorf("Table II rows = %d, want 20", len(PaperTableII))
+	}
+	for i, r := range PaperTableII {
+		if r.Name != MCNC20[i].Name {
+			t.Errorf("Table II row %d is %s, Table I row is %s", i, r.Name, MCNC20[i].Name)
+		}
+	}
+	// Paper's headline claims encoded correctly: RT-Embedding average
+	// 0.858, Lex-3 best at 0.823, Lex-5 worse than Lex-3.
+	var rt, l3, l5 PaperTableIIIRow
+	for _, r := range PaperTableIII {
+		switch r.Algorithm {
+		case "RT-Embedding":
+			rt = r
+		case "Lex-3":
+			l3 = r
+		case "Lex-5":
+			l5 = r
+		}
+	}
+	if rt.All[0] != 0.858 || l3.All[0] != 0.823 {
+		t.Error("Table III reference values corrupted")
+	}
+	if !(l3.All[0] < l5.All[0]) {
+		t.Error("paper shape: Lex-3 beats Lex-5 on average")
+	}
+	if _, ok := ByName("pdc"); !ok {
+		t.Error("ByName failed")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName found a ghost")
+	}
+}

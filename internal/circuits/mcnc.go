@@ -1,0 +1,145 @@
+package circuits
+
+// This file encodes the published statistics of the paper's benchmark
+// suite (Table I) and its result tables (Tables II and III), both as
+// the parameters for synthetic circuit generation and as the reference
+// values EXPERIMENTS.md compares against.
+
+// MCNCSpec describes one MCNC circuit's published statistics.
+type MCNCSpec struct {
+	Name       string
+	LUTs       int
+	IOs        int
+	Sequential bool
+	// Paper's Table I baseline measurements (timing-driven VPR).
+	PaperWInf    float64 // critical path, infinite routing resources [ns]
+	PaperWLs     float64 // critical path, low-stress routing [ns]
+	PaperWire    int     // routed wire length
+	PaperSize    int     // FPGA side (N x N)
+	PaperDensity float64
+}
+
+// Large reports whether the circuit falls in the paper's "large"
+// class (>= 3K cells).
+func (m MCNCSpec) Large() bool { return m.LUTs+m.IOs >= 3000 }
+
+// MCNC20 is the paper's benchmark suite in Table I order.
+var MCNC20 = []MCNCSpec{
+	{"ex5p", 1064, 71, false, 80.59, 81.99, 20020, 33, 0.977},
+	{"tseng", 1047, 174, true, 50.54, 53.65, 10495, 33, 0.961},
+	{"apex4", 1262, 28, false, 72.12, 75.41, 22332, 36, 0.974},
+	{"misex3", 1397, 28, false, 64.44, 65.87, 21784, 38, 0.967},
+	{"alu4", 1522, 22, false, 77.20, 81.07, 20796, 40, 0.951},
+	{"diffeq", 1497, 103, true, 55.29, 57.49, 15560, 39, 0.984},
+	{"dsip", 1370, 426, true, 65.38, 67.21, 17237, 54, 0.470},
+	{"seq", 1750, 76, false, 76.93, 77.82, 28493, 42, 0.992},
+	{"apex2", 1878, 41, false, 94.61, 95.47, 30998, 44, 0.970},
+	{"s298", 1931, 10, true, 124.20, 127.35, 22762, 44, 0.997},
+	{"des", 1591, 501, false, 90.44, 91.31, 27415, 63, 0.401},
+	{"bigkey", 1707, 426, true, 59.69, 60.65, 21074, 54, 0.585},
+	{"frisc", 3556, 136, true, 119.02, 124.61, 61109, 60, 0.988},
+	{"spla", 3690, 62, false, 111.03, 113.57, 68308, 61, 0.992},
+	{"elliptic", 3604, 245, true, 105.96, 108.50, 47456, 61, 0.969},
+	{"ex1010", 4598, 20, false, 184.84, 185.56, 70300, 68, 0.994},
+	{"pdc", 4575, 56, false, 167.81, 169.33, 105073, 68, 0.989},
+	{"s38417", 6406, 135, true, 97.20, 100.61, 64490, 81, 0.976},
+	{"s38584.1", 6447, 342, true, 99.74, 102.10, 58869, 81, 0.983},
+	{"clma", 8383, 144, true, 211.78, 217.24, 145551, 92, 0.990},
+}
+
+// Spec converts an MCNC entry to a generation spec at the given scale
+// (1.0 reproduces the published sizes; smaller scales keep proportions
+// for quick benchmarks). I/Os split roughly 40/60 into inputs and
+// outputs, the typical profile of the suite.
+func (m MCNCSpec) Spec(scale float64) Spec {
+	luts := scaleInt(m.LUTs, scale, 8)
+	ios := scaleInt(m.IOs, scale, 4)
+	inputs := ios * 2 / 5
+	if inputs < 2 {
+		inputs = 2
+	}
+	outputs := ios - inputs
+	if outputs < 2 {
+		outputs = 2
+	}
+	reg := 0.0
+	if m.Sequential {
+		reg = 0.15
+	}
+	return Spec{
+		Name:           m.Name,
+		LUTs:           luts,
+		Inputs:         inputs,
+		Outputs:        outputs,
+		RegisteredFrac: reg,
+	}
+}
+
+func scaleInt(v int, scale float64, floor int) int {
+	s := int(float64(v) * scale)
+	if s < floor {
+		return floor
+	}
+	return s
+}
+
+// PaperTableII holds the paper's normalized (to VPR) results for the
+// three algorithms of Table II, per circuit: {W∞, W_ls, wire, blocks}.
+type PaperTableIIRow struct {
+	Name     string
+	LocalRep [4]float64
+	RTEmbed  [4]float64
+	Lex3     [4]float64
+}
+
+// PaperTableII is Table II of the paper.
+var PaperTableII = []PaperTableIIRow{
+	{"ex5p", [4]float64{0.792, 0.806, 1.027, 1.004}, [4]float64{0.764, 0.774, 1.090, 1.011}, [4]float64{0.764, 0.783, 1.110, 1.019}},
+	{"tseng", [4]float64{0.987, 0.955, 1.012, 1.004}, [4]float64{0.987, 0.978, 1.060, 1.002}, [4]float64{0.970, 0.933, 1.068, 1.010}},
+	{"apex4", [4]float64{0.912, 0.913, 1.042, 1.012}, [4]float64{0.888, 0.913, 1.107, 1.011}, [4]float64{0.854, 0.871, 1.193, 1.024}},
+	{"misex3", [4]float64{0.914, 0.937, 1.013, 1.007}, [4]float64{0.852, 0.891, 1.148, 1.010}, [4]float64{0.835, 0.872, 1.273, 1.021}},
+	{"alu4", [4]float64{0.987, 0.963, 1.004, 1.000}, [4]float64{0.922, 0.925, 1.053, 1.002}, [4]float64{0.860, 0.945, 1.197, 1.013}},
+	{"diffeq", [4]float64{1.004, 1.000, 1.002, 1.003}, [4]float64{0.989, 0.969, 1.026, 1.001}, [4]float64{0.999, 0.990, 1.020, 1.002}},
+	{"dsip", [4]float64{0.924, 0.938, 1.024, 1.001}, [4]float64{0.793, 0.804, 1.277, 1.001}, [4]float64{0.731, 0.822, 1.559, 1.001}},
+	{"seq", [4]float64{0.939, 0.969, 1.011, 1.002}, [4]float64{0.870, 0.885, 1.048, 1.003}, [4]float64{0.818, 0.859, 1.100, 1.008}},
+	{"apex2", [4]float64{1.000, 1.000, 1.000, 1.000}, [4]float64{0.811, 0.838, 1.120, 1.010}, [4]float64{0.755, 0.799, 1.262, 1.016}},
+	{"s298", [4]float64{0.937, 0.937, 1.029, 1.003}, [4]float64{0.915, 0.903, 1.034, 1.001}, [4]float64{0.875, 0.899, 1.066, 1.002}},
+	{"des", [4]float64{0.898, 0.895, 1.044, 1.003}, [4]float64{0.876, 0.876, 1.039, 1.001}, [4]float64{0.876, 0.886, 1.043, 1.002}},
+	{"bigkey", [4]float64{1.000, 1.000, 1.000, 1.000}, [4]float64{0.855, 0.892, 1.190, 1.000}, [4]float64{0.801, 0.901, 1.328, 1.000}},
+	{"frisc", [4]float64{1.007, 0.997, 1.007, 1.001}, [4]float64{0.999, 0.983, 1.018, 1.001}, [4]float64{0.958, 0.917, 1.069, 1.007}},
+	{"spla", [4]float64{0.874, 0.889, 1.035, 1.005}, [4]float64{0.812, 0.824, 1.108, 1.008}, [4]float64{0.793, 0.829, 1.164, 1.008}},
+	{"elliptic", [4]float64{0.926, 0.934, 1.040, 1.003}, [4]float64{0.853, 0.838, 1.030, 1.001}, [4]float64{0.780, 0.792, 1.132, 1.009}},
+	{"ex1010", [4]float64{0.861, 0.882, 1.044, 1.003}, [4]float64{0.818, 0.847, 1.148, 1.006}, [4]float64{0.795, 0.821, 1.144, 1.006}},
+	{"pdc", [4]float64{0.707, 0.728, 1.031, 1.003}, [4]float64{0.641, 0.707, 1.072, 1.005}, [4]float64{0.624, 0.690, 1.142, 1.009}},
+	{"s38417", [4]float64{0.974, 0.961, 1.004, 1.000}, [4]float64{0.930, 0.944, 1.017, 1.000}, [4]float64{0.840, 0.888, 1.069, 1.009}},
+	{"s38584.1", [4]float64{0.919, 0.927, 1.002, 1.000}, [4]float64{0.842, 0.839, 1.048, 1.001}, [4]float64{0.819, 0.845, 1.115, 1.000}},
+	{"clma", [4]float64{0.926, 0.915, 1.021, 1.003}, [4]float64{0.746, 0.745, 1.053, 1.005}, [4]float64{0.708, 0.707, 1.100, 1.006}},
+}
+
+// PaperTableIII holds the paper's Table III averages: for each
+// algorithm variant, {W∞, W_ls, wire, blocks} normalized to VPR over
+// all, small, and large circuits.
+type PaperTableIIIRow struct {
+	Algorithm           string
+	All, Small, LargeAv [4]float64
+}
+
+// PaperTableIII is Table III of the paper.
+var PaperTableIII = []PaperTableIIIRow{
+	{"RT-Embedding", [4]float64{0.858, 0.869, 1.084, 1.004}, [4]float64{0.877, 0.887, 1.099, 1.004}, [4]float64{0.830, 0.841, 1.062, 1.003}},
+	{"Lex-mc", [4]float64{0.841, 0.925, 1.168, 1.013}, [4]float64{0.852, 0.951, 1.197, 1.014}, [4]float64{0.824, 0.886, 1.124, 1.010}},
+	{"Lex-2", [4]float64{0.827, 0.869, 1.157, 1.008}, [4]float64{0.850, 0.889, 1.185, 1.010}, [4]float64{0.794, 0.838, 1.114, 1.006}},
+	{"Lex-3", [4]float64{0.823, 0.853, 1.158, 1.009}, [4]float64{0.845, 0.880, 1.185, 1.010}, [4]float64{0.790, 0.811, 1.117, 1.007}},
+	{"Lex-4", [4]float64{0.825, 0.857, 1.152, 1.008}, [4]float64{0.848, 0.889, 1.175, 1.009}, [4]float64{0.790, 0.809, 1.117, 1.006}},
+	{"Lex-5", [4]float64{0.827, 0.869, 1.150, 1.008}, [4]float64{0.849, 0.901, 1.168, 1.008}, [4]float64{0.795, 0.823, 1.124, 1.008}},
+}
+
+// ByName finds a suite entry.
+func ByName(name string) (MCNCSpec, bool) {
+	for _, m := range MCNC20 {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MCNCSpec{}, false
+}

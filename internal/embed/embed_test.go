@@ -1,0 +1,666 @@
+package embed
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// lineGraph builds the 5-slot line of the paper's worked example
+// (Fig. 7): unit wire cost and unit wire length per edge.
+func lineGraph(n int) *Graph {
+	g := NewGraph(n)
+	for v := 0; v < n-1; v++ {
+		g.AddBiEdge(Vertex(v), Vertex(v+1), 1, 1)
+	}
+	return g
+}
+
+// pair is a (cost, arrival) projection of a signature.
+type pair struct{ c, t float64 }
+
+// project reduces a signature set to its non-dominated (cost, max
+// arrival) pairs, sorted by cost — the form in which the paper's
+// worked example lists solution sets.
+func project(sigs []Sig) []pair {
+	ps := make([]pair, 0, len(sigs))
+	for _, s := range sigs {
+		ps = append(ps, pair{s.Cost, s.D[0]})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].c != ps[j].c {
+			return ps[i].c < ps[j].c
+		}
+		return ps[i].t < ps[j].t
+	})
+	var out []pair
+	for _, p := range ps {
+		if len(out) > 0 && out[len(out)-1].t <= p.t {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func pairsEqual(a, b []pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPaperWorkedExample reproduces the exact solution sets of the
+// Section II worked example: line graph of slots 0..4, s fixed at 0,
+// t at 4, one internal node x; placement cost = slot index, wire cost
+// = length, wire delay = length², gate delay 1.
+func TestPaperWorkedExample(t *testing.T) {
+	g := lineGraph(5)
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: 0, Arr: 0},                              // 0: leaf s at slot 0
+			{Children: []NodeID{0}, Intrinsic: 1},            // 1: internal x
+			{Children: []NodeID{1}, Vertex: 4, Intrinsic: 1}, // 2: root t at slot 4
+		},
+		Root: 2,
+	}
+	p := &Problem{
+		G:    g,
+		T:    tree,
+		Mode: Mode{LexDepth: 1, Delay: QuadraticDelay},
+		PlaceCost: func(node NodeID, v Vertex) float64 {
+			if node == 2 {
+				return 0 // the sink is already placed
+			}
+			if v == 0 || v == 4 {
+				// The example considers x only at slots 1..3 (s and t
+				// occupy 0 and 4).
+				return math.Inf(1)
+			}
+			return float64(v) // "placement cost equal to the slot index"
+		},
+	}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A[s][j] after the leaf wavefront.
+	wantS := map[Vertex][]pair{
+		1: {{1, 1}},
+		2: {{2, 4}},
+		3: {{3, 9}},
+		4: {{4, 16}},
+	}
+	for v, want := range wantS {
+		if got := project(r.SolutionsAt(0, v)); !pairsEqual(got, want) {
+			t.Errorf("A[s][%d] = %v, want %v", v, got, want)
+		}
+	}
+
+	// A[x][j] after join + wavefront.
+	wantX := map[Vertex][]pair{
+		1: {{2, 2}},
+		2: {{3, 3}},
+		3: {{4, 6}},
+		4: {{5, 11}, {6, 9}},
+	}
+	for v, want := range wantX {
+		if got := project(r.SolutionsAt(1, v)); !pairsEqual(got, want) {
+			t.Errorf("A[x][%d] = %v, want %v", v, got, want)
+		}
+	}
+
+	// Final tradeoff at the root: {(5,12), (6,10)}.
+	want := []pair{{5, 12}, {6, 10}}
+	if got := project(r.SolutionsAt(2, 4)); !pairsEqual(got, want) {
+		t.Fatalf("A[t][4] = %v, want %v", got, want)
+	}
+
+	// "Assuming a lower bound of 15 units, we would choose (5,12)":
+	sel := r.SelectByBound(15)
+	if sel.Sig.Cost != 5 || sel.Sig.D[0] != 12 {
+		t.Errorf("SelectByBound(15) = (%v,%v), want (5,12)", sel.Sig.Cost, sel.Sig.D[0])
+	}
+	emb := r.Extract(sel)
+	if emb.NodeVertex[1] != 1 {
+		t.Errorf("chosen solution places x at %d, want slot 1", emb.NodeVertex[1])
+	}
+	// A tighter bound forces the faster, costlier solution: x at 2.
+	sel = r.SelectByBound(11)
+	if sel.Sig.Cost != 6 || sel.Sig.D[0] != 10 {
+		t.Errorf("SelectByBound(11) = (%v,%v), want (6,10)", sel.Sig.Cost, sel.Sig.D[0])
+	}
+	if emb := r.Extract(sel); emb.NodeVertex[1] != 2 {
+		t.Errorf("fast solution places x at %d, want slot 2", emb.NodeVertex[1])
+	}
+}
+
+// TestLinearLine checks the linear-delay model on a simple chain:
+// the unique optimal embedding places the gate anywhere on the
+// straight line (cost identical), and arrival is distance + gates.
+func TestLinearLine(t *testing.T) {
+	g := lineGraph(7)
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: 0, Arr: 0},
+			{Children: []NodeID{0}, Intrinsic: 2},
+			{Children: []NodeID{1}, Vertex: 6, Intrinsic: 2},
+		},
+		Root: 2,
+	}
+	p := &Problem{G: g, T: tree, Mode: Mode{LexDepth: 1, Delay: LinearDelay}}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Frontier) != 1 {
+		t.Fatalf("frontier size = %d, want 1 (no cost/delay tradeoff on a line)", len(r.Frontier))
+	}
+	f := r.Frontier[0]
+	if f.Sig.Cost != 6 { // total wire
+		t.Errorf("cost = %v, want 6", f.Sig.Cost)
+	}
+	if f.Sig.D[0] != 6+2+2 { // wire + two gates
+		t.Errorf("arrival = %v, want 10", f.Sig.D[0])
+	}
+	emb := r.Extract(f)
+	if emb.WireCost != 6 {
+		t.Errorf("extracted wire cost = %v, want 6", emb.WireCost)
+	}
+	// Route endpoints are consistent: every node's route starts at its
+	// vertex.
+	for id, route := range emb.Routes {
+		if len(route) == 0 {
+			continue
+		}
+		if route[0] != emb.NodeVertex[id] {
+			t.Errorf("node %d route starts at %d, not its vertex %d", id, route[0], emb.NodeVertex[id])
+		}
+	}
+}
+
+// grid5 builds a 5x5 unit grid.
+func grid5() *Graph {
+	return NewGrid(GridSpec{X0: 0, Y0: 0, W: 5, H: 5, WireCost: 1, WireDelay: 1})
+}
+
+// vtx is a helper to index a 5-wide grid.
+func vtx(x, y int) Vertex { return Vertex(y*5 + x) }
+
+// TestGridJoin embeds a 2-input gate on a grid: two leaves at corners,
+// root at a third corner. The optimal gate position is on the shortest
+// Steiner point.
+func TestGridJoin(t *testing.T) {
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: vtx(0, 0), Arr: 0},
+			{Vertex: vtx(4, 0), Arr: 0},
+			{Children: []NodeID{0, 1}, Intrinsic: 1},
+			{Children: []NodeID{2}, Vertex: vtx(2, 4), Intrinsic: 1},
+		},
+		Root: 3,
+	}
+	p := &Problem{G: grid5(), T: tree, Mode: Mode{LexDepth: 1}}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := r.SelectByBound(0) // unachievable bound -> fastest
+	emb := r.Extract(best)
+	gate := emb.NodeVertex[2]
+	gx, gy := int(gate)%5, int(gate)/5
+	// The delay-optimal gate location is (2, y): equalizes the two
+	// leaf paths; max arrival = (2+y) wire + 1 + (4-y) wire + 1.
+	if gx != 2 {
+		t.Errorf("gate at (%d,%d), want x=2 (balanced between leaves)", gx, gy)
+	}
+	wantArr := float64(2+gy) + 1 + float64(4-gy) + 1
+	if best.Sig.D[0] != wantArr {
+		t.Errorf("arrival = %v, want %v", best.Sig.D[0], wantArr)
+	}
+}
+
+// TestLeafArrivalSkew verifies that leaf arrival times feed through to
+// the root arrival: with one late leaf, the best achievable arrival is
+// the late leaf's arrival plus its monotone distance to the root plus
+// both gate delays.
+func TestLeafArrivalSkew(t *testing.T) {
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: vtx(0, 2), Arr: 10},
+			{Vertex: vtx(4, 2), Arr: 0},
+			{Children: []NodeID{0, 1}, Intrinsic: 1},
+			{Children: []NodeID{2}, Vertex: vtx(4, 0), Intrinsic: 1},
+		},
+		Root: 3,
+	}
+	p := &Problem{G: grid5(), T: tree, Mode: Mode{LexDepth: 1}}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := r.SelectByBound(0)
+	// Lower bound: 10 + dist((0,2),(4,0)) + two gates = 10 + 6 + 2.
+	if best.Sig.D[0] != 18 {
+		t.Errorf("fastest arrival = %v, want 18 (late leaf dominates)", best.Sig.D[0])
+	}
+	// The gate sits on a monotone late-leaf-to-root path.
+	emb := r.Extract(best)
+	gate := emb.NodeVertex[2]
+	gx, gy := int(gate)%5, int(gate)/5
+	if d := gx + (2 - gy) + (4 - gx) + gy; d != 6 {
+		t.Errorf("gate at (%d,%d) is off every monotone path", gx, gy)
+	}
+}
+
+// TestPlacementDiscount verifies the equivalence-discount mechanism:
+// with a discounted slot available, the cheapest solution uses it.
+func TestPlacementDiscount(t *testing.T) {
+	discounted := vtx(1, 1)
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: vtx(0, 0), Arr: 0},
+			{Children: []NodeID{0}, Intrinsic: 1},
+			{Children: []NodeID{1}, Vertex: vtx(4, 4), Intrinsic: 1},
+		},
+		Root: 2,
+	}
+	p := &Problem{
+		G:    grid5(),
+		T:    tree,
+		Mode: Mode{LexDepth: 1},
+		PlaceCost: func(node NodeID, v Vertex) float64 {
+			if node != 1 {
+				return 0
+			}
+			if v == discounted {
+				return 0 // logically equivalent cell already here
+			}
+			return 5 // replication overhead elsewhere
+		},
+	}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheapest solution places the gate on the discounted slot. Since
+	// (1,1) is on a monotone route, there is no delay penalty either.
+	sort.Slice(r.Frontier, func(i, j int) bool { return r.Frontier[i].Sig.Cost < r.Frontier[j].Sig.Cost })
+	emb := r.Extract(r.Frontier[0])
+	if emb.NodeVertex[1] != discounted {
+		t.Errorf("cheapest embedding at %d, want discounted %d", emb.NodeVertex[1], discounted)
+	}
+}
+
+// TestBlockedVertices verifies blocked regions are avoided entirely.
+func TestBlockedVertices(t *testing.T) {
+	g := grid5()
+	// Block the middle column except the top, forcing a detour.
+	for y := 0; y < 4; y++ {
+		g.Block(vtx(2, y))
+	}
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: vtx(0, 0), Arr: 0},
+			{Children: []NodeID{0}, Intrinsic: 0},
+			{Children: []NodeID{1}, Vertex: vtx(4, 0), Intrinsic: 0},
+		},
+		Root: 2,
+	}
+	p := &Problem{G: g, T: tree, Mode: Mode{LexDepth: 1}}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.SelectByBound(math.Inf(1))
+	// Straight distance is 4 but the wall forces the route through
+	// (2,4): length 4 + 2*4 = 12.
+	if f.Sig.Cost != 12 {
+		t.Errorf("detour cost = %v, want 12", f.Sig.Cost)
+	}
+	emb := r.Extract(f)
+	if emb.NodeVertex[1] == vtx(2, 0) || emb.NodeVertex[1] == vtx(2, 1) {
+		t.Error("gate placed on a blocked vertex")
+	}
+	for _, route := range emb.Routes {
+		for _, v := range route {
+			if g.Blocked(v) && v != vtx(2, 4) {
+				t.Errorf("route passes blocked vertex %d", v)
+			}
+		}
+	}
+}
+
+// TestFreeRoot exercises the FF-relocation mode: with the root free,
+// the frontier includes the globally best root location.
+func TestFreeRoot(t *testing.T) {
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: vtx(0, 2), Arr: 0},
+			{Vertex: vtx(4, 2), Arr: 0},
+			{Children: []NodeID{0, 1}, Vertex: -1, Intrinsic: 1},
+		},
+		Root: 2,
+	}
+	p := &Problem{G: grid5(), T: tree, Mode: Mode{LexDepth: 1}}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := r.SelectByBound(0)
+	// Best root location is midway: arrival = 2 wire + 1 gate = 3.
+	if best.Sig.D[0] != 3 {
+		t.Errorf("free-root best arrival = %v, want 3", best.Sig.D[0])
+	}
+	x := int(best.Vertex) % 5
+	if x != 2 {
+		t.Errorf("free root placed at x=%d, want 2", x)
+	}
+}
+
+// TestLex2Join checks the subcritical arrival bookkeeping of the Lex-2
+// join: t2 = max({t_i} ∪ {t2_i} \ {t}).
+func TestLex2Join(t *testing.T) {
+	m := Mode{LexDepth: 2}
+	a := newLeafSig(m, 5, false)
+	b := newLeafSig(m, 3, false)
+	j := merge(m, &a, &b)
+	if j.D[0] != 5 || j.D[1] != 3 {
+		t.Errorf("merge D = [%v %v], want [5 3]", j.D[0], j.D[1])
+	}
+	// Merging in another path slower than t2 but faster than t.
+	c := newLeafSig(m, 4, false)
+	j2 := merge(m, &j, &c)
+	if j2.D[0] != 5 || j2.D[1] != 4 {
+		t.Errorf("3-way merge D = [%v %v], want [5 4]", j2.D[0], j2.D[1])
+	}
+	// Associativity: (a+b)+c == (a+c)+b.
+	j3 := merge(m, &a, &c)
+	j4 := merge(m, &j3, &b)
+	if j4.D != j2.D || j4.Cost != j2.Cost {
+		t.Error("merge is not associative")
+	}
+	// finishJoin adds gate delay to both components.
+	g := finishJoin(m, j2, 0, 1)
+	if g.D[0] != 6 || g.D[1] != 5 {
+		t.Errorf("finishJoin D = [%v %v], want [6 5]", g.D[0], g.D[1])
+	}
+}
+
+// TestLexDominance: lexicographic delay ordering retains solutions the
+// plain 2-D signature would conflate.
+func TestLexDominance(t *testing.T) {
+	m2 := Mode{LexDepth: 2}
+	a := Sig{Cost: 3}
+	a.D = [MaxLex]float64{10, 8, negInf, negInf, negInf}
+	b := Sig{Cost: 3}
+	b.D = [MaxLex]float64{10, 6, negInf, negInf, negInf}
+	if dominates(m2, &a, &b) {
+		t.Error("a (worse t2) must not dominate b")
+	}
+	if !dominates(m2, &b, &a) {
+		t.Error("b (same cost/t, better t2) should dominate a")
+	}
+	m1 := Mode{LexDepth: 1}
+	if !dominates(m1, &a, &b) || !dominates(m1, &b, &a) {
+		t.Error("under 2-D signature the two are equivalent and dominate each other")
+	}
+}
+
+// TestLexMCSig exercises the Lex-mc join and augment rules.
+func TestLexMCSig(t *testing.T) {
+	m := Mode{LexDepth: 1, MC: true}
+	crit := newLeafSig(m, 0, true)
+	if crit.W != 1 || crit.TC != 0 {
+		t.Fatalf("critical leaf sig = %+v", crit)
+	}
+	other := newLeafSig(m, 7, false)
+	j := merge(m, &crit, &other)
+	if j.W != 1 {
+		t.Errorf("W = %d, want 1", j.W)
+	}
+	if j.D[0] != 7 {
+		t.Errorf("t = %v, want 7", j.D[0])
+	}
+	// Wire and gate delay accrue on tc only along the critical branch.
+	g := finishJoin(m, j, 0, 2)
+	if g.TC != 2 {
+		t.Errorf("TC after gate = %v, want 2", g.TC)
+	}
+	e := Edge{Cost: 1, Delay: 3}
+	g2 := augment(m, g, e)
+	if g2.TC != 5 {
+		t.Errorf("TC after wire = %v, want 5", g2.TC)
+	}
+	// A branch without the critical input accrues no TC.
+	o2 := augment(m, newLeafSig(m, 7, false), e)
+	if o2.TC != 0 {
+		t.Errorf("non-critical TC = %v, want 0", o2.TC)
+	}
+}
+
+// TestOverlapControl: with overlap control on a capacity-1 target, two
+// gates are never joined at the same vertex.
+func TestOverlapControl(t *testing.T) {
+	// Chain of two internal gates between two leaves and a root, on a
+	// short line so the temptation to stack gates is real.
+	g := lineGraph(4)
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: 0, Arr: 0},
+			{Children: []NodeID{0}, Intrinsic: 1},
+			{Children: []NodeID{1}, Intrinsic: 1},
+			{Children: []NodeID{2}, Vertex: 3, Intrinsic: 1},
+		},
+		Root: 3,
+	}
+	solve := func(overlap bool) *Embedding {
+		p := &Problem{G: g, T: tree, Mode: Mode{LexDepth: 1, OverlapControl: overlap}}
+		r, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Extract(r.SelectByBound(math.Inf(1)))
+	}
+	emb := solve(true)
+	if emb.NodeVertex[1] == emb.NodeVertex[2] {
+		t.Errorf("overlap control violated: gates 1 and 2 both at %d", emb.NodeVertex[1])
+	}
+	// And the leaf's slot is also occupied: gate must not stack on it.
+	if emb.NodeVertex[1] == 0 || emb.NodeVertex[2] == 0 {
+		t.Error("gate stacked on the occupied leaf slot")
+	}
+}
+
+// TestOverlapControlCapacity: capacity 2 allows exactly two tree cells
+// per slot.
+func TestOverlapControlCapacity(t *testing.T) {
+	g := lineGraph(4)
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: 0, Arr: 0},
+			{Children: []NodeID{0}, Intrinsic: 1},
+			{Children: []NodeID{1}, Intrinsic: 1},
+			{Children: []NodeID{2}, Vertex: 3, Intrinsic: 1},
+		},
+		Root: 3,
+	}
+	p := &Problem{
+		G: g, T: tree,
+		Mode:     Mode{LexDepth: 1, OverlapControl: true},
+		Capacity: func(v Vertex) int { return 2 },
+	}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count of co-located tree gates never exceeds 2 in any solution.
+	for _, f := range r.Frontier {
+		emb := r.Extract(f)
+		count := map[Vertex]int{}
+		for id := range tree.Nodes {
+			if !tree.Nodes[id].IsLeaf() {
+				count[emb.NodeVertex[id]]++
+			}
+		}
+		for v, c := range count {
+			if c > 2 {
+				t.Errorf("vertex %d holds %d gates, capacity 2", v, c)
+			}
+		}
+	}
+}
+
+// TestElmoreMode: the 3-D (c, r, t) signature of Section II-D. A gate
+// inserted mid-route re-buffers the wire: with quadratic wire delay a
+// long wire is slower than two short ones plus a gate.
+func TestElmoreMode(t *testing.T) {
+	g := lineGraph(9)
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: 0, Arr: 0},
+			{Children: []NodeID{0}, Intrinsic: 1}, // a "buffer" gate
+			{Children: []NodeID{1}, Vertex: 8, Intrinsic: 0},
+		},
+		Root: 2,
+	}
+	p := &Problem{G: g, T: tree, Mode: Mode{LexDepth: 1, Delay: ElmoreDelay, GateR: 0}}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := r.SelectByBound(0)
+	emb := r.Extract(best)
+	mid := emb.NodeVertex[1]
+	// Elmore delay of length L from R=0 is L²/2; splitting 8 into 4+4
+	// gives 8+8+1=17 vs 32 unsplit. The optimum is the middle.
+	if mid != 4 {
+		t.Errorf("re-buffering gate at %d, want 4 (midpoint)", mid)
+	}
+	if best.Sig.D[0] != 17 {
+		t.Errorf("arrival = %v, want 17", best.Sig.D[0])
+	}
+}
+
+// TestMaxPerVertexCap: capping solution lists keeps the solver sound
+// (still returns a feasible, reasonably fast embedding).
+func TestMaxPerVertexCap(t *testing.T) {
+	g := NewGrid(GridSpec{W: 8, H: 8, WireCost: 1, WireDelay: 1})
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: 0, Arr: 0},
+			{Vertex: 7, Arr: 2},
+			{Children: []NodeID{0, 1}, Intrinsic: 1},
+			{Children: []NodeID{2}, Vertex: 63, Intrinsic: 1},
+		},
+		Root: 3,
+	}
+	pc := func(node NodeID, v Vertex) float64 { return float64(v%7) * 0.25 }
+	exact, err := (&Problem{G: g, T: tree, Mode: Mode{LexDepth: 1}, PlaceCost: pc}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := (&Problem{G: g, T: tree, Mode: Mode{LexDepth: 1}, PlaceCost: pc,
+		MaxPerVertex: 3, DelayQuantum: 0.5}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := exact.SelectByBound(0).Sig.D[0]
+	fc := capped.SelectByBound(0).Sig.D[0]
+	if fc < fe {
+		t.Errorf("capped solver found arrival %v better than exact %v", fc, fe)
+	}
+	if fc > fe+2 {
+		t.Errorf("capped solver arrival %v too far from exact %v", fc, fe)
+	}
+}
+
+// TestTreeValidate rejects malformed trees.
+func TestTreeValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		tree Tree
+	}{
+		{"root out of range", Tree{Nodes: []Node{{Vertex: 0}}, Root: 5}},
+		{"leaf root", Tree{Nodes: []Node{{Vertex: 0}}, Root: 0}},
+		{"two parents", Tree{Nodes: []Node{
+			{Vertex: 0},
+			{Children: []NodeID{0}},
+			{Children: []NodeID{0, 1}, Vertex: 1},
+		}, Root: 2}},
+		{"self child", Tree{Nodes: []Node{
+			{Vertex: 0},
+			{Children: []NodeID{1}, Vertex: 1},
+		}, Root: 1}},
+		{"unreachable node", Tree{Nodes: []Node{
+			{Vertex: 0},
+			{Children: []NodeID{0}, Vertex: 1},
+			{Vertex: 2},
+		}, Root: 1}},
+		{"leaf vertex out of range", Tree{Nodes: []Node{
+			{Vertex: 99},
+			{Children: []NodeID{0}, Vertex: 1},
+		}, Root: 1}},
+	}
+	for _, c := range cases {
+		if err := c.tree.Validate(5); err == nil {
+			t.Errorf("%s: Validate accepted malformed tree", c.name)
+		}
+	}
+}
+
+// TestFrontierMonotone: the returned frontier is strictly increasing in
+// cost and strictly decreasing in arrival (a genuine tradeoff curve).
+func TestFrontierMonotone(t *testing.T) {
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: vtx(0, 0), Arr: 0},
+			{Vertex: vtx(0, 4), Arr: 0},
+			{Children: []NodeID{0, 1}, Intrinsic: 1},
+			{Children: []NodeID{2}, Vertex: vtx(4, 2), Intrinsic: 1},
+		},
+		Root: 3,
+	}
+	pc := func(node NodeID, v Vertex) float64 {
+		// Cheap on the left, expensive toward the sink: creates a
+		// tradeoff.
+		return float64(int(v) % 5 * 2)
+	}
+	p := &Problem{G: grid5(), T: tree, Mode: Mode{LexDepth: 1}, PlaceCost: pc}
+	r, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(r.Frontier); i++ {
+		a, b := r.Frontier[i-1].Sig, r.Frontier[i].Sig
+		if b.Cost <= a.Cost {
+			t.Errorf("frontier cost not increasing: %v then %v", a.Cost, b.Cost)
+		}
+		if b.D[0] >= a.D[0] {
+			t.Errorf("frontier arrival not decreasing: %v then %v", a.D[0], b.D[0])
+		}
+	}
+}
+
+// TestInfeasible: a fully blocked graph yields an error, not a panic.
+func TestInfeasible(t *testing.T) {
+	g := lineGraph(3)
+	g.Block(1) // the only path between 0 and 2
+	tree := &Tree{
+		Nodes: []Node{
+			{Vertex: 0, Arr: 0},
+			{Children: []NodeID{0}, Vertex: 2, Intrinsic: 1},
+		},
+		Root: 1,
+	}
+	p := &Problem{G: g, T: tree, Mode: Mode{LexDepth: 1}}
+	if _, err := p.Solve(); err == nil {
+		t.Error("expected infeasibility error")
+	}
+}

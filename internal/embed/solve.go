@@ -1,0 +1,457 @@
+package embed
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Problem is one fanin-tree embedding instance.
+type Problem struct {
+	G    *Graph
+	T    *Tree
+	Mode Mode
+	// PlaceCost returns p_ij, the cost of placing internal tree node i
+	// at vertex j (Section II-A). nil means zero everywhere. Return
+	// +Inf to forbid a location for one node.
+	PlaceCost func(node NodeID, v Vertex) float64
+	// Capacity returns the remaining capacity of the slot at v for the
+	// overlap-control scheme; nil means capacity 1 everywhere. Only
+	// consulted when Mode.OverlapControl is set.
+	Capacity func(v Vertex) int
+	// MaxPerVertex caps the solution list kept per (node, vertex);
+	// 0 keeps every non-dominated solution (exact). When the cap is
+	// hit, a new solution is accepted only if it improves the current
+	// fastest arrival by more than DelayQuantum — a documented
+	// approximation for very large instances.
+	MaxPerVertex int
+	DelayQuantum float64
+}
+
+type solKind uint8
+
+const (
+	kindLeaf solKind = iota
+	kindJoin
+	kindAugment
+)
+
+// solution couples a signature with the provenance needed to
+// reconstruct the embedding top-down after a solution is chosen.
+type solution struct {
+	sig  Sig
+	kind solKind
+	// kindAugment: predecessor solution.
+	prevVertex Vertex
+	prevIdx    int32
+	// kindJoin: children solution indices at the same vertex, stored
+	// in nodeSols.joinPool[joinRef : joinRef+len(children)].
+	joinRef int32
+}
+
+// nodeSols holds the accepted non-dominated solution sets A[i][j] for
+// one tree node, plus the flattened child references of its join
+// solutions.
+type nodeSols struct {
+	at       [][]solution
+	joinPool []int32
+}
+
+// Result is the outcome of Solve: the non-dominated cost/arrival
+// tradeoff at the root ("Frontier"), plus enough state to extract any
+// chosen solution's full embedding.
+type Result struct {
+	p        *Problem
+	sols     []nodeSols
+	Frontier []FrontierSol
+}
+
+// FrontierSol is one point on the root tradeoff curve.
+type FrontierSol struct {
+	Sig Sig
+	// Vertex is where the root was placed (always the fixed root
+	// vertex unless the root was free, the FF-relocation mode).
+	Vertex Vertex
+	idx    int32
+}
+
+// Solve runs the embedding DP of Fig. 6 and returns the root tradeoff
+// curve sorted by increasing cost.
+func (p *Problem) Solve() (*Result, error) {
+	if err := p.T.Validate(p.G.NumVertices()); err != nil {
+		return nil, err
+	}
+	r := &Result{p: p, sols: make([]nodeSols, len(p.T.Nodes))}
+	for i := range r.sols {
+		r.sols[i].at = make([][]solution, p.G.NumVertices())
+	}
+	order := p.T.PostOrder()
+	for _, id := range order {
+		n := &p.T.Nodes[id]
+		if n.IsLeaf() {
+			// ComputeInitial (line b2) + wavefront expansion.
+			init := solution{sig: newLeafSig(p.Mode, n.Arr, n.Critical), kind: kindLeaf}
+			r.runWavefront(id, []queueItem{{sol: init, vertex: n.Vertex}})
+			continue
+		}
+		if id == p.T.Root {
+			break // handled below: the root is not propagated onward
+		}
+		seeds := r.joinAt(id, nil)
+		r.runWavefront(id, seeds)
+	}
+
+	// Root: join only (A[t][root] = A^b[t][root] — the sink consumes
+	// the signal; no onward propagation). A fixed root joins at its
+	// vertex only; a free root joins everywhere and the frontier spans
+	// all vertices.
+	rootNode := &p.T.Nodes[p.T.Root]
+	var only []Vertex
+	if rootNode.Vertex >= 0 {
+		only = []Vertex{rootNode.Vertex}
+	}
+	seeds := r.joinAt(p.T.Root, only)
+	ns := &r.sols[p.T.Root]
+	for _, it := range seeds {
+		ns.at[it.vertex] = append(ns.at[it.vertex], it.sol)
+	}
+	// Collect the global non-dominated frontier.
+	var all []FrontierSol
+	for v := range ns.at {
+		for i := range ns.at[v] {
+			all = append(all, FrontierSol{Sig: ns.at[v][i].sig, Vertex: Vertex(v), idx: int32(i)})
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("embed: no feasible embedding (root unreachable from leaves)")
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if heapLess(p.Mode, &all[i].Sig, &all[j].Sig) {
+			return true
+		}
+		if heapLess(p.Mode, &all[j].Sig, &all[i].Sig) {
+			return false
+		}
+		// Ties: prefer solutions with less gate stacking, so that
+		// selection never picks an overlap the legalizer must undo.
+		return all[i].Sig.Peak < all[j].Sig.Peak
+	})
+	if rootNode.Vertex < 0 {
+		// Free root (FF relocation, Section V-D): the caller needs
+		// "the tradeoff curve composed of solutions at all possible
+		// locations for the critical sink" — cross-vertex dominance
+		// would discard exactly the alternative locations the
+		// relocation heuristic must weigh against the sink's outgoing
+		// paths, so every (already per-vertex non-dominated) solution
+		// is kept.
+		r.Frontier = all
+		return r, nil
+	}
+	for _, f := range all {
+		dominated := false
+		for i := range r.Frontier {
+			if dominates(p.Mode, &r.Frontier[i].Sig, &f.Sig) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			r.Frontier = append(r.Frontier, f)
+		}
+	}
+	return r, nil
+}
+
+// joinAt computes the branching solutions A^b[id][j] (JoinTree line c2)
+// for every vertex (or just the listed ones) by folding the children's
+// accepted sets pairwise, then applying placement cost and gate delay.
+func (r *Result) joinAt(id NodeID, only []Vertex) []queueItem {
+	p := r.p
+	n := &p.T.Nodes[id]
+	ns := &r.sols[id]
+	var seeds []queueItem
+
+	vertices := only
+	if vertices == nil {
+		vertices = make([]Vertex, 0, p.G.NumVertices())
+		for v := 0; v < p.G.NumVertices(); v++ {
+			vertices = append(vertices, Vertex(v))
+		}
+	}
+
+	for _, v := range vertices {
+		if p.G.Blocked(v) {
+			continue
+		}
+		pc := 0.0
+		if p.PlaceCost != nil {
+			pc = p.PlaceCost(id, v)
+		}
+		if math.IsInf(pc, 1) {
+			continue
+		}
+		// Fold children: cross-product with dominance pruning at each
+		// step (the paper's 2-D join is a linear merge; the pairwise
+		// cross-product with pruning is the general form that also
+		// covers the Lex and load-dependent signatures).
+		var combos []combo
+		feasible := true
+		for ci, c := range n.Children {
+			childSols := r.sols[c].at[v]
+			if len(childSols) == 0 {
+				feasible = false
+				break
+			}
+			if ci == 0 {
+				combos = make([]combo, 0, len(childSols))
+				for i := range childSols {
+					combos = append(combos, combo{sig: childSols[i].sig, idx: []int32{int32(i)}})
+				}
+				continue
+			}
+			next := make([]combo, 0, len(combos))
+			for _, cb := range combos {
+				for i := range childSols {
+					m := merge(p.Mode, &cb.sig, &childSols[i].sig)
+					idx := make([]int32, len(cb.idx)+1)
+					copy(idx, cb.idx)
+					idx[len(cb.idx)] = int32(i)
+					next = append(next, combo{sig: m, idx: idx})
+				}
+			}
+			combos = pruneCombos(p.Mode, next)
+		}
+		if !feasible {
+			continue
+		}
+		for _, cb := range combos {
+			sig := finishJoin(p.Mode, cb.sig, pc, n.Intrinsic)
+			if p.Mode.OverlapControl {
+				cap := 1
+				if p.Capacity != nil {
+					cap = p.Capacity(v)
+				}
+				if int(sig.Branch) > cap {
+					continue // would overfill the slot (Section II-A)
+				}
+			}
+			ref := int32(len(ns.joinPool))
+			ns.joinPool = append(ns.joinPool, cb.idx...)
+			seeds = append(seeds, queueItem{
+				sol:    solution{sig: sig, kind: kindJoin, joinRef: ref},
+				vertex: v,
+			})
+		}
+	}
+	return seeds
+}
+
+// combo is a partial join: a merged signature plus the child solution
+// indices that produced it.
+type combo struct {
+	sig Sig
+	idx []int32
+}
+
+// pruneCombos removes dominated combinations.
+func pruneCombos(m Mode, in []combo) []combo {
+	sort.Slice(in, func(i, j int) bool { return heapLess(m, &in[i].sig, &in[j].sig) })
+	out := in[:0]
+	for i := range in {
+		dominated := false
+		for j := range out {
+			if dominates(m, &out[j].sig, &in[i].sig) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, in[i])
+		}
+	}
+	return out
+}
+
+// queueItem is a pending candidate in the wavefront priority queue.
+type queueItem struct {
+	sol    solution
+	vertex Vertex
+}
+
+type wavefrontQueue struct {
+	mode  Mode
+	items []queueItem
+}
+
+func (q *wavefrontQueue) Len() int { return len(q.items) }
+func (q *wavefrontQueue) Less(i, j int) bool {
+	return heapLess(q.mode, &q.items[i].sol.sig, &q.items[j].sol.sig)
+}
+func (q *wavefrontQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *wavefrontQueue) Push(x any)    { q.items = append(q.items, x.(queueItem)) }
+func (q *wavefrontQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// runWavefront is GenDijkstra (Fig. 6): a multi-source generalized
+// Dijkstra expansion seeded with the node's branching solutions.
+// Because items pop in non-decreasing (cost, arrival) order, a popped
+// candidate not dominated by the already-accepted set at its vertex is
+// itself non-dominated and final.
+func (r *Result) runWavefront(id NodeID, seeds []queueItem) {
+	p := r.p
+	ns := &r.sols[id]
+	q := &wavefrontQueue{mode: p.Mode, items: seeds}
+	heap.Init(q)
+	for q.Len() > 0 {
+		it := heap.Pop(q).(queueItem)
+		v := it.vertex
+		if !r.accept(ns, v, it.sol) {
+			continue
+		}
+		idx := int32(len(ns.at[v]) - 1)
+		for _, e := range p.G.Adj(v) {
+			if p.G.Blocked(e.To) {
+				continue
+			}
+			next := solution{
+				sig:        augment(p.Mode, it.sol.sig, e),
+				kind:       kindAugment,
+				prevVertex: v,
+				prevIdx:    idx,
+			}
+			heap.Push(q, queueItem{sol: next, vertex: e.To})
+		}
+	}
+}
+
+// accept appends the solution to A[id][v] unless dominated (line d7).
+// It enforces the per-vertex cap with the delay-quantum rule.
+func (r *Result) accept(ns *nodeSols, v Vertex, s solution) bool {
+	list := ns.at[v]
+	for i := range list {
+		if dominates(r.p.Mode, &list[i].sig, &s.sig) {
+			return false
+		}
+	}
+	if r.p.MaxPerVertex > 0 && len(list) >= r.p.MaxPerVertex {
+		// Only worth keeping if it beats the current best arrival by
+		// more than the quantum.
+		best := math.Inf(1)
+		for i := range list {
+			if list[i].sig.D[0] < best {
+				best = list[i].sig.D[0]
+			}
+		}
+		if s.sig.D[0] >= best-r.p.DelayQuantum {
+			return false
+		}
+	}
+	ns.at[v] = append(list, s)
+	return true
+}
+
+// SolutionsAt exposes the accepted signature set A[node][v]; used by
+// tests to check the DP against the paper's worked example.
+func (r *Result) SolutionsAt(node NodeID, v Vertex) []Sig {
+	list := r.sols[node].at[v]
+	out := make([]Sig, len(list))
+	for i := range list {
+		out[i] = list[i].sig
+	}
+	return out
+}
+
+// SelectByBound picks from the frontier the cheapest solution whose max
+// arrival beats the bound — "the cheapest solution that is fast enough"
+// (Section II-C) — falling back to the fastest solution when none
+// meets the bound.
+func (r *Result) SelectByBound(bound float64) FrontierSol {
+	var fastest *FrontierSol
+	for i := range r.Frontier {
+		f := &r.Frontier[i]
+		if fastest == nil || f.Sig.D[0] < fastest.Sig.D[0] {
+			fastest = f
+		}
+	}
+	// Frontier is cost-sorted: first hit is the cheapest fast-enough.
+	for i := range r.Frontier {
+		if r.Frontier[i].Sig.D[0] <= bound {
+			return r.Frontier[i]
+		}
+	}
+	return *fastest
+}
+
+// Embedding is a fully reconstructed solution.
+type Embedding struct {
+	// NodeVertex gives each tree node's chosen vertex.
+	NodeVertex []Vertex
+	// Routes[i] is the wire route from node i's vertex to the vertex
+	// where its signal is consumed by the parent's join, inclusive of
+	// both endpoints (length 1 when the parent joins where i sits).
+	Routes [][]Vertex
+	// WireCost is the total edge cost of all routes.
+	WireCost float64
+}
+
+// Extract reconstructs the embedding behind a frontier solution by
+// retracing the DP choices top-down (Section II: "the actual embedding
+// is reconstructed in a top-down process").
+func (r *Result) Extract(f FrontierSol) *Embedding {
+	emb := &Embedding{
+		NodeVertex: make([]Vertex, len(r.p.T.Nodes)),
+		Routes:     make([][]Vertex, len(r.p.T.Nodes)),
+	}
+	for i := range emb.NodeVertex {
+		emb.NodeVertex[i] = -1
+	}
+	r.extract(f.Vertex, int32(f.idx), r.p.T.Root, emb)
+	return emb
+}
+
+func (r *Result) extract(v Vertex, idx int32, node NodeID, emb *Embedding) {
+	ns := &r.sols[node]
+	// Walk the augment chain back to the branching point, recording
+	// the route (in consumption-to-branch order, reversed at the end).
+	route := []Vertex{v}
+	sol := ns.at[v][idx]
+	for sol.kind == kindAugment {
+		pv, pi := sol.prevVertex, sol.prevIdx
+		route = append(route, pv)
+		v, idx = pv, pi
+		sol = ns.at[v][idx]
+	}
+	for i, j := 0, len(route)-1; i < j; i, j = i+1, j-1 {
+		route[i], route[j] = route[j], route[i]
+	}
+	emb.NodeVertex[node] = v
+	emb.Routes[node] = route
+	emb.WireCost += routeCost(r.p.G, route)
+	if sol.kind == kindLeaf {
+		return
+	}
+	children := r.p.T.Nodes[node].Children
+	refs := ns.joinPool[sol.joinRef : sol.joinRef+int32(len(children))]
+	for i, c := range children {
+		r.extract(v, refs[i], c, emb)
+	}
+}
+
+func routeCost(g *Graph, route []Vertex) float64 {
+	total := 0.0
+	for i := 1; i < len(route); i++ {
+		for _, e := range g.Adj(route[i-1]) {
+			if e.To == route[i] {
+				total += e.Cost
+				break
+			}
+		}
+	}
+	return total
+}

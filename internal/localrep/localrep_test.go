@@ -1,0 +1,200 @@
+package localrep
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/timing"
+)
+
+func dm() arch.DelayModel { return arch.DelayModel{SegDelay: 1, LUTDelay: 2, IODelay: 0.5} }
+
+type design struct {
+	nl *netlist.Netlist
+	pl *placement.Placement
+}
+
+func newDesign(name string, gridN int) *design {
+	d := &design{nl: netlist.New(name)}
+	d.pl = placement.New(arch.New(gridN), d.nl)
+	return d
+}
+
+func (d *design) input(name string, x, y int16) {
+	c := d.nl.AddCell(name, netlist.IPad, 0)
+	d.pl.Place(c.ID, arch.Loc{X: x, Y: y})
+}
+
+func (d *design) output(name, sig string, x, y int16) {
+	c := d.nl.AddCell(name, netlist.OPad, 1)
+	d.nl.ConnectByName(c.ID, 0, sig)
+	d.pl.Place(c.ID, arch.Loc{X: x, Y: y})
+}
+
+func (d *design) lut(name string, x, y int16, ins ...string) {
+	c := d.nl.AddCell(name, netlist.LUT, len(ins))
+	for i, s := range ins {
+		d.nl.ConnectByName(c.ID, i, s)
+	}
+	d.pl.Place(c.ID, arch.Loc{X: x, Y: y})
+}
+
+func (d *design) period(t *testing.T) float64 {
+	t.Helper()
+	a, err := timing.Analyze(d.nl, d.pl, dm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Period
+}
+
+// locallyNonmonotone: v detours off the i→o line — the case this
+// baseline fixes.
+func locallyNonmonotone() *design {
+	d := newDesign("bump", 8)
+	d.input("i", 0, 4)
+	d.lut("u", 2, 4, "i")
+	d.lut("v", 4, 7, "u") // the detour
+	d.lut("w", 6, 4, "v")
+	d.output("o", "w", 9, 4)
+	// A second fanout of v pins it: replication, not relocation.
+	d.output("o2", "v", 4, 9)
+	return d
+}
+
+func TestFixesLocalDetour(t *testing.T) {
+	d := locallyNonmonotone()
+	before := d.period(t)
+	o := New(d.nl, d.pl, dm(), Defaults())
+	st, err := o.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.nl, d.pl = o.Netlist, o.Placement
+	after := d.period(t)
+	if after >= before {
+		t.Errorf("local replication failed to improve: %v -> %v", before, after)
+	}
+	if st.Replicated == 0 {
+		t.Error("expected a replication (v has fanout 2)")
+	}
+	if err := d.nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.pl.Legal() {
+		t.Error("result must be legal")
+	}
+	if st.FinalPeriod != after {
+		t.Errorf("FinalPeriod = %v, measured %v", st.FinalPeriod, after)
+	}
+}
+
+func TestRelocatesFanoutOne(t *testing.T) {
+	d := newDesign("mv", 8)
+	d.input("i", 0, 4)
+	d.lut("u", 2, 4, "i")
+	d.lut("v", 4, 7, "u") // detour, fanout 1
+	d.lut("w", 6, 4, "v")
+	d.output("o", "w", 9, 4)
+	before := d.period(t)
+	o := New(d.nl, d.pl, dm(), Defaults())
+	st, err := o.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.nl, d.pl = o.Netlist, o.Placement
+	if after := d.period(t); after >= before {
+		t.Errorf("no improvement: %v -> %v", before, after)
+	}
+	if st.Relocated == 0 {
+		t.Error("expected a relocation (fanout-1 cell)")
+	}
+	if st.Replicated != 0 {
+		t.Error("fanout-1 detour should not replicate")
+	}
+	if d.nl.NumLUTs() != 3 {
+		t.Errorf("LUT count changed to %d", d.nl.NumLUTs())
+	}
+}
+
+// fig3 is the limitation case: a U-shaped path whose length-3 windows
+// are all monotone. Local replication must find nothing to do.
+func fig3() *design {
+	d := newDesign("fig3", 8)
+	d.input("s", 0, 2)
+	d.lut("a", 4, 2, "s")
+	d.lut("b", 4, 6, "a")
+	d.output("t", "b", 0, 6)
+	return d
+}
+
+func TestFig3LimitationOfLocalMonotonicity(t *testing.T) {
+	d := fig3()
+	before := d.period(t)
+	// Confirm the setup: globally nonmonotone, locally monotone.
+	a, _ := timing.Analyze(d.nl, d.pl, dm())
+	path := a.CriticalPath(d.nl, d.pl, dm())
+	if timing.PathMonotone(d.pl, path) {
+		t.Fatal("setup: path should be globally nonmonotone")
+	}
+	if !timing.LocallyMonotone(d.pl, path) {
+		t.Fatal("setup: path should be locally monotone (Fig. 3)")
+	}
+	o := New(d.nl, d.pl, dm(), Defaults())
+	st, err := o.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.nl, d.pl = o.Netlist, o.Placement
+	after := d.period(t)
+	if after != before {
+		t.Errorf("local replication changed a locally monotone path: %v -> %v", before, after)
+	}
+	if st.Replicated != 0 || st.Relocated != 0 {
+		t.Error("no candidate should exist on a locally monotone path")
+	}
+}
+
+func TestNeverWorsens(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		d := locallyNonmonotone()
+		before := d.period(t)
+		opt := Defaults()
+		opt.Seed = seed
+		o := New(d.nl, d.pl, dm(), opt)
+		st, err := o.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FinalPeriod > before {
+			t.Errorf("seed %d worsened period %v -> %v", seed, before, st.FinalPeriod)
+		}
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	d := locallyNonmonotone()
+	nl, pl, st, err := BestOf(d.nl, d.pl, dm(), Defaults(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Legal() {
+		t.Error("best-of result must be legal")
+	}
+	// Original design untouched (BestOf works on clones).
+	if d.nl.NumLUTs() != 3 {
+		t.Error("BestOf mutated the input design")
+	}
+	a, err := timing.Analyze(nl, pl, dm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Period != st.FinalPeriod {
+		t.Errorf("reported best %v, measured %v", st.FinalPeriod, a.Period)
+	}
+}

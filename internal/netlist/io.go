@@ -1,0 +1,131 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format is a minimal BLIF-like line format:
+//
+//	# comment
+//	circuit <name>
+//	input <name>
+//	output <name> <signal>
+//	lut <name> <in1> <in2> ...
+//	reg <name> <in1> <in2> ...    (registered LUT / BLE)
+//
+// Signals are named after their driving cell. Forward references are
+// allowed; connectivity is resolved after all cells are declared.
+
+// Write serializes the netlist to the text format.
+func (n *Netlist) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", n.Name)
+	var err error
+	n.Cells(func(c *Cell) {
+		if err != nil {
+			return
+		}
+		switch c.Kind {
+		case IPad:
+			_, err = fmt.Fprintf(bw, "input %s\n", c.Name)
+		case OPad:
+			_, err = fmt.Fprintf(bw, "output %s %s\n", c.Name, n.signalName(c.Fanin[0]))
+		case LUT:
+			kw := "lut"
+			if c.Registered {
+				kw = "reg"
+			}
+			parts := make([]string, 0, len(c.Fanin)+2)
+			parts = append(parts, kw, c.Name)
+			for _, net := range c.Fanin {
+				parts = append(parts, n.signalName(net))
+			}
+			_, err = fmt.Fprintln(bw, strings.Join(parts, " "))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (n *Netlist) signalName(net NetID) string {
+	if net == None {
+		return "-"
+	}
+	return n.Cell(n.Net(net).Driver).Name
+}
+
+// Read parses the text format into a new netlist.
+func Read(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := New("unnamed")
+	type pending struct {
+		cell   CellID
+		pin    int
+		signal string
+	}
+	var deferred []pending
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: circuit takes one name", lineNo)
+			}
+			n.Name = fields[1]
+		case "input":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: input takes one name", lineNo)
+			}
+			n.AddCell(fields[1], IPad, 0)
+		case "output":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: output takes name and signal", lineNo)
+			}
+			c := n.AddCell(fields[1], OPad, 1)
+			deferred = append(deferred, pending{c.ID, 0, fields[2]})
+		case "lut", "reg":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: %s needs a name", lineNo, fields[0])
+			}
+			ins := fields[2:]
+			c := n.AddCell(fields[1], LUT, len(ins))
+			c.Registered = fields[0] == "reg"
+			for pin, sig := range ins {
+				if sig == "-" {
+					continue
+				}
+				deferred = append(deferred, pending{c.ID, pin, sig})
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, p := range deferred {
+		id, ok := n.CellByName(p.signal)
+		if !ok {
+			return nil, fmt.Errorf("cell %s pin %d: unknown signal %q",
+				n.Cell(p.cell).Name, p.pin, p.signal)
+		}
+		out := n.Cell(id).Out
+		if out == None {
+			return nil, fmt.Errorf("signal %q is an output pad and drives nothing", p.signal)
+		}
+		n.Connect(p.cell, p.pin, out)
+	}
+	return n, nil
+}

@@ -1,0 +1,574 @@
+// Package netlist represents LUT-level FPGA netlists and the editing
+// operations needed by placement-coupled logic replication: cell
+// replication, fanout re-assignment, unification of logically
+// equivalent cells, and redundancy removal (Sections III and V of the
+// paper).
+//
+// A netlist is a set of cells connected by nets. Each net has exactly
+// one driver and any number of sinks; a sink is a (cell, input pin)
+// pair. Cells are LUTs (optionally registered, i.e. followed by a
+// flip-flop packed into the same slot, VPR BLE style), input pads, or
+// output pads.
+//
+// Logical equivalence is tracked by equivalence-class IDs: replicating
+// a cell copies its class, so "is placed on top of a logically
+// equivalent cell" (the paper's unification test) is a cheap ID
+// comparison. The construction rules of the replication tree guarantee
+// that cells sharing a class compute the same function.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CellID identifies a cell within a netlist. IDs are stable across
+// edits; deleted cells leave tombstones.
+type CellID int32
+
+// NetID identifies a net within a netlist.
+type NetID int32
+
+// EquivID identifies a logical-equivalence class of cells.
+type EquivID int32
+
+// None marks an unconnected reference.
+const None = -1
+
+// Kind enumerates cell types.
+type Kind uint8
+
+const (
+	// LUT is a lookup-table logic cell (optionally registered).
+	LUT Kind = iota
+	// IPad is a primary-input pad.
+	IPad
+	// OPad is a primary-output pad.
+	OPad
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LUT:
+		return "lut"
+	case IPad:
+		return "ipad"
+	case OPad:
+		return "opad"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Pin identifies one input pin of one cell — the unit of connectivity
+// re-assignment during fanout partitioning and unification.
+type Pin struct {
+	Cell CellID
+	// Input is the index into the cell's fanin list.
+	Input int32
+}
+
+// Cell is one netlist cell.
+type Cell struct {
+	ID   CellID
+	Name string
+	Kind Kind
+	// Registered marks a LUT whose output is latched by a flip-flop in
+	// the same slot (a BLE). A registered LUT's output starts a new
+	// timing path and its inputs terminate one.
+	Registered bool
+	// Fanin lists the nets feeding each input pin, in pin order.
+	// Entries may be None while a netlist is under construction.
+	Fanin []NetID
+	// Out is the net driven by this cell (None for output pads).
+	Out NetID
+	// Equiv is the cell's logical-equivalence class.
+	Equiv EquivID
+	// Dead marks a deleted cell (tombstone).
+	Dead bool
+}
+
+// IsSource reports whether the cell's output begins a timing path
+// (primary input or registered LUT).
+func (c *Cell) IsSource() bool { return c.Kind == IPad || (c.Kind == LUT && c.Registered) }
+
+// IsSink reports whether the cell's inputs end a timing path (primary
+// output or registered LUT).
+func (c *Cell) IsSink() bool { return c.Kind == OPad || (c.Kind == LUT && c.Registered) }
+
+// Net is a single-driver, multi-sink connection.
+type Net struct {
+	ID     NetID
+	Name   string
+	Driver CellID
+	Sinks  []Pin
+	Dead   bool
+}
+
+// Netlist is a mutable LUT-level circuit.
+type Netlist struct {
+	Name  string
+	cells []Cell
+	nets  []Net
+
+	nextEquiv EquivID
+	byName    map[string]CellID
+
+	numLive     int
+	numLiveNets int
+}
+
+// New returns an empty netlist with the given name.
+func New(name string) *Netlist {
+	return &Netlist{Name: name, byName: make(map[string]CellID)}
+}
+
+// NumCells returns the number of live cells.
+func (n *Netlist) NumCells() int { return n.numLive }
+
+// NumNets returns the number of live nets.
+func (n *Netlist) NumNets() int { return n.numLiveNets }
+
+// Cap returns the upper bound on cell IDs (including tombstones); use
+// it to size per-cell arrays.
+func (n *Netlist) Cap() int { return len(n.cells) }
+
+// NetCap returns the upper bound on net IDs (including tombstones).
+func (n *Netlist) NetCap() int { return len(n.nets) }
+
+// Cell returns the cell with the given ID. It panics on a dead or
+// invalid ID: holding a reference to a deleted cell is a logic error in
+// the optimization flow.
+func (n *Netlist) Cell(id CellID) *Cell {
+	c := &n.cells[id]
+	if c.Dead {
+		panic(fmt.Sprintf("netlist: access to dead cell %d (%s)", id, c.Name))
+	}
+	return c
+}
+
+// Net returns the net with the given ID, panicking on dead or invalid
+// IDs.
+func (n *Netlist) Net(id NetID) *Net {
+	t := &n.nets[id]
+	if t.Dead {
+		panic(fmt.Sprintf("netlist: access to dead net %d (%s)", id, t.Name))
+	}
+	return t
+}
+
+// Alive reports whether the cell ID refers to a live cell.
+func (n *Netlist) Alive(id CellID) bool {
+	return id >= 0 && int(id) < len(n.cells) && !n.cells[id].Dead
+}
+
+// NetAlive reports whether the net ID refers to a live net.
+func (n *Netlist) NetAlive(id NetID) bool {
+	return id >= 0 && int(id) < len(n.nets) && !n.nets[id].Dead
+}
+
+// CellByName looks a cell up by name.
+func (n *Netlist) CellByName(name string) (CellID, bool) {
+	id, ok := n.byName[name]
+	if ok && n.cells[id].Dead {
+		return None, false
+	}
+	return id, ok
+}
+
+// Cells iterates over all live cells in ID order.
+func (n *Netlist) Cells(f func(*Cell)) {
+	for i := range n.cells {
+		if !n.cells[i].Dead {
+			f(&n.cells[i])
+		}
+	}
+}
+
+// Nets iterates over all live nets in ID order.
+func (n *Netlist) Nets(f func(*Net)) {
+	for i := range n.nets {
+		if !n.nets[i].Dead {
+			f(&n.nets[i])
+		}
+	}
+}
+
+// AddCell creates a cell of the given kind with numInputs unconnected
+// input pins and (except for output pads) a freshly created output net
+// named after the cell. It assigns a new equivalence class.
+func (n *Netlist) AddCell(name string, kind Kind, numInputs int) *Cell {
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate cell name %q", name))
+	}
+	id := CellID(len(n.cells))
+	fanin := make([]NetID, numInputs)
+	for i := range fanin {
+		fanin[i] = None
+	}
+	n.cells = append(n.cells, Cell{
+		ID:    id,
+		Name:  name,
+		Kind:  kind,
+		Fanin: fanin,
+		Out:   None,
+		Equiv: n.nextEquiv,
+	})
+	n.nextEquiv++
+	n.byName[name] = id
+	n.numLive++
+	c := &n.cells[id]
+	if kind != OPad {
+		c.Out = n.addNet(name, id)
+	}
+	return c
+}
+
+func (n *Netlist) addNet(name string, driver CellID) NetID {
+	id := NetID(len(n.nets))
+	n.nets = append(n.nets, Net{ID: id, Name: name, Driver: driver})
+	n.numLiveNets++
+	return id
+}
+
+// Connect wires input pin `pin` of cell `sink` to net `net`,
+// disconnecting any previous source of that pin.
+func (n *Netlist) Connect(sink CellID, pin int, net NetID) {
+	c := n.Cell(sink)
+	if pin < 0 || pin >= len(c.Fanin) {
+		panic(fmt.Sprintf("netlist: cell %s has no input pin %d", c.Name, pin))
+	}
+	if old := c.Fanin[pin]; old != None {
+		n.removeSink(old, Pin{sink, int32(pin)})
+	}
+	c.Fanin[pin] = net
+	t := n.Net(net)
+	t.Sinks = append(t.Sinks, Pin{sink, int32(pin)})
+}
+
+// ConnectByName is a convenience wrapper connecting sink's pin to the
+// output net of the cell named driver.
+func (n *Netlist) ConnectByName(sink CellID, pin int, driver string) {
+	id, ok := n.CellByName(driver)
+	if !ok {
+		panic(fmt.Sprintf("netlist: no cell named %q", driver))
+	}
+	n.Connect(sink, pin, n.Cell(id).Out)
+}
+
+func (n *Netlist) removeSink(net NetID, p Pin) {
+	t := n.Net(net)
+	for i, s := range t.Sinks {
+		if s == p {
+			t.Sinks[i] = t.Sinks[len(t.Sinks)-1]
+			t.Sinks = t.Sinks[:len(t.Sinks)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("netlist: sink %v not on net %s", p, t.Name))
+}
+
+// MoveSink re-assigns one sink pin from its current net to the output
+// of cell newDriver. This is the primitive behind both fanout
+// partitioning after replication and post-process unification
+// (Section V-C).
+func (n *Netlist) MoveSink(p Pin, newDriver CellID) {
+	out := n.Cell(newDriver).Out
+	if out == None {
+		panic("netlist: MoveSink target drives no net")
+	}
+	n.Connect(p.Cell, int(p.Input), out)
+}
+
+// Replicate creates a copy of LUT cell v computing the same function:
+// same kind, registered flag, equivalence class, and fanin nets. The
+// replica drives a fresh net with no sinks; the caller re-assigns the
+// sinks that should move to the replica. This is the cell-duplication
+// primitive of the replication tree (Section III).
+func (n *Netlist) Replicate(v CellID) *Cell {
+	orig := n.Cell(v)
+	if orig.Kind != LUT {
+		panic(fmt.Sprintf("netlist: cannot replicate %s cell %s", orig.Kind, orig.Name))
+	}
+	name := n.freshName(orig.Name + "_r")
+	id := CellID(len(n.cells))
+	fanin := make([]NetID, len(orig.Fanin))
+	for i := range fanin {
+		fanin[i] = None
+	}
+	n.cells = append(n.cells, Cell{
+		ID:         id,
+		Name:       name,
+		Kind:       LUT,
+		Registered: orig.Registered,
+		Fanin:      fanin,
+		Out:        None,
+		Equiv:      orig.Equiv,
+	})
+	n.byName[name] = id
+	n.numLive++
+	rep := &n.cells[id]
+	rep.Out = n.addNet(name, id)
+	for i, net := range n.cells[v].Fanin {
+		if net != None {
+			n.Connect(id, i, net)
+		}
+	}
+	return rep
+}
+
+func (n *Netlist) freshName(base string) string {
+	name := base
+	for i := 1; ; i++ {
+		if _, dup := n.byName[name]; !dup {
+			return name
+		}
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+}
+
+// Equivalent reports whether two cells are logically equivalent (same
+// equivalence class). Two equivalent cells can be unified: all fanouts
+// of one can take their signal from the other.
+func (n *Netlist) Equivalent(a, b CellID) bool {
+	return n.Cell(a).Equiv == n.Cell(b).Equiv
+}
+
+// EquivClass returns the IDs of all live cells in the same equivalence
+// class as v, including v itself, in ID order.
+func (n *Netlist) EquivClass(v CellID) []CellID {
+	eq := n.Cell(v).Equiv
+	var out []CellID
+	for i := range n.cells {
+		if !n.cells[i].Dead && n.cells[i].Equiv == eq {
+			out = append(out, n.cells[i].ID)
+		}
+	}
+	return out
+}
+
+// Unify redirects every sink of cell dup's output to cell keep's
+// output and deletes dup (and, recursively, any fanin cells made
+// redundant). The caller must ensure keep and dup are logically
+// equivalent.
+func (n *Netlist) Unify(keep, dup CellID) {
+	if keep == dup {
+		return
+	}
+	if !n.Equivalent(keep, dup) {
+		panic(fmt.Sprintf("netlist: Unify of inequivalent cells %s and %s",
+			n.Cell(keep).Name, n.Cell(dup).Name))
+	}
+	dupOut := n.Cell(dup).Out
+	sinks := append([]Pin(nil), n.Net(dupOut).Sinks...)
+	for _, p := range sinks {
+		n.MoveSink(p, keep)
+	}
+	n.DeleteIfRedundant(dup)
+}
+
+// DeleteIfRedundant removes LUT cell v if its output drives no sinks,
+// then recursively re-tests the drivers of its fanin nets, exactly as
+// Section V-C prescribes ("after deletion, we may have induced the same
+// condition on its parent... the test is applied recursively"). It
+// reports the number of cells deleted.
+func (n *Netlist) DeleteIfRedundant(v CellID) int {
+	c := n.Cell(v)
+	if c.Kind != LUT {
+		return 0 // never delete pads
+	}
+	if len(n.Net(c.Out).Sinks) > 0 {
+		return 0
+	}
+	deleted := 1
+	parents := make([]CellID, 0, len(c.Fanin))
+	for i, net := range c.Fanin {
+		if net == None {
+			continue
+		}
+		n.removeSink(net, Pin{v, int32(i)})
+		c.Fanin[i] = None
+		parents = append(parents, n.Net(net).Driver)
+	}
+	n.nets[c.Out].Dead = true
+	n.numLiveNets--
+	c.Dead = true
+	n.numLive--
+	for _, p := range parents {
+		if n.Alive(p) {
+			deleted += n.DeleteIfRedundant(p)
+		}
+	}
+	return deleted
+}
+
+// CountKind returns the number of live cells of the given kind.
+func (n *Netlist) CountKind(k Kind) int {
+	count := 0
+	n.Cells(func(c *Cell) {
+		if c.Kind == k {
+			count++
+		}
+	})
+	return count
+}
+
+// NumLUTs returns the number of live LUT cells (the "LUTs" column of
+// Table I).
+func (n *Netlist) NumLUTs() int { return n.CountKind(LUT) }
+
+// NumIOs returns the number of live pad cells (the "I/Os" column of
+// Table I).
+func (n *Netlist) NumIOs() int { return n.CountKind(IPad) + n.CountKind(OPad) }
+
+// Validate checks structural invariants and returns the first violation
+// found, or nil. It verifies driver/sink symmetry, absence of dangling
+// references, name-index consistency, and that equivalence classes are
+// structurally consistent (cells in one class have fanins drawn from
+// pairwise-identical equivalence classes).
+func (n *Netlist) Validate() error {
+	for i := range n.cells {
+		c := &n.cells[i]
+		if c.Dead {
+			continue
+		}
+		if got, ok := n.byName[c.Name]; !ok || got != c.ID {
+			return fmt.Errorf("cell %s: name index mismatch", c.Name)
+		}
+		if c.Kind == OPad && c.Out != None {
+			return fmt.Errorf("opad %s drives a net", c.Name)
+		}
+		if c.Kind != OPad {
+			if c.Out == None {
+				return fmt.Errorf("cell %s drives no net", c.Name)
+			}
+			if !n.NetAlive(c.Out) {
+				return fmt.Errorf("cell %s drives dead net %d", c.Name, c.Out)
+			}
+			if n.nets[c.Out].Driver != c.ID {
+				return fmt.Errorf("cell %s out net has wrong driver", c.Name)
+			}
+		}
+		if c.Kind == IPad && len(c.Fanin) != 0 {
+			return fmt.Errorf("ipad %s has inputs", c.Name)
+		}
+		for pin, net := range c.Fanin {
+			if net == None {
+				continue
+			}
+			if !n.NetAlive(net) {
+				return fmt.Errorf("cell %s pin %d reads dead net %d", c.Name, pin, net)
+			}
+			if !hasSink(&n.nets[net], Pin{c.ID, int32(pin)}) {
+				return fmt.Errorf("cell %s pin %d missing from net %s sink list", c.Name, pin, n.nets[net].Name)
+			}
+		}
+	}
+	for i := range n.nets {
+		t := &n.nets[i]
+		if t.Dead {
+			continue
+		}
+		if !n.Alive(t.Driver) {
+			return fmt.Errorf("net %s has dead driver", t.Name)
+		}
+		if n.cells[t.Driver].Out != t.ID {
+			return fmt.Errorf("net %s driver does not drive it", t.Name)
+		}
+		seen := map[Pin]bool{}
+		for _, p := range t.Sinks {
+			if seen[p] {
+				return fmt.Errorf("net %s has duplicate sink %v", t.Name, p)
+			}
+			seen[p] = true
+			if !n.Alive(p.Cell) {
+				return fmt.Errorf("net %s has dead sink cell %d", t.Name, p.Cell)
+			}
+			sc := &n.cells[p.Cell]
+			if int(p.Input) >= len(sc.Fanin) || sc.Fanin[p.Input] != t.ID {
+				return fmt.Errorf("net %s sink %s pin %d not wired back", t.Name, sc.Name, p.Input)
+			}
+		}
+	}
+	return n.validateEquiv()
+}
+
+// validateEquiv checks that every equivalence class is structurally
+// consistent: members share kind, registered flag, pin count, and the
+// equivalence classes of their fanin drivers.
+func (n *Netlist) validateEquiv() error {
+	classes := map[EquivID][]*Cell{}
+	for i := range n.cells {
+		if !n.cells[i].Dead {
+			classes[n.cells[i].Equiv] = append(classes[n.cells[i].Equiv], &n.cells[i])
+		}
+	}
+	for eq, members := range classes {
+		if len(members) < 2 {
+			continue
+		}
+		ref := members[0]
+		for _, m := range members[1:] {
+			if m.Kind != ref.Kind || m.Registered != ref.Registered || len(m.Fanin) != len(ref.Fanin) {
+				return fmt.Errorf("equiv class %d: %s and %s differ structurally", eq, ref.Name, m.Name)
+			}
+			for pin := range ref.Fanin {
+				a, b := ref.Fanin[pin], m.Fanin[pin]
+				if (a == None) != (b == None) {
+					return fmt.Errorf("equiv class %d: %s and %s pin %d connectivity differs", eq, ref.Name, m.Name, pin)
+				}
+				if a == None {
+					continue
+				}
+				da, db := n.Net(a).Driver, n.Net(b).Driver
+				if n.Cell(da).Equiv != n.Cell(db).Equiv {
+					return fmt.Errorf("equiv class %d: %s and %s pin %d fed by inequivalent signals", eq, ref.Name, m.Name, pin)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func hasSink(t *Net, p Pin) bool {
+	for _, s := range t.Sinks {
+		if s == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the netlist.
+func (n *Netlist) Clone() *Netlist {
+	c := &Netlist{
+		Name:        n.Name,
+		cells:       make([]Cell, len(n.cells)),
+		nets:        make([]Net, len(n.nets)),
+		nextEquiv:   n.nextEquiv,
+		byName:      make(map[string]CellID, len(n.byName)),
+		numLive:     n.numLive,
+		numLiveNets: n.numLiveNets,
+	}
+	copy(c.cells, n.cells)
+	for i := range c.cells {
+		c.cells[i].Fanin = append([]NetID(nil), n.cells[i].Fanin...)
+	}
+	copy(c.nets, n.nets)
+	for i := range c.nets {
+		c.nets[i].Sinks = append([]Pin(nil), n.nets[i].Sinks...)
+	}
+	for k, v := range n.byName {
+		c.byName[k] = v
+	}
+	return c
+}
+
+// SortedCellNames returns the names of all live cells, sorted; useful
+// for deterministic iteration in tests and reports.
+func (n *Netlist) SortedCellNames() []string {
+	names := make([]string, 0, n.numLive)
+	n.Cells(func(c *Cell) { names = append(names, c.Name) })
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,417 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFig8 constructs the circuit of Fig. 8 of the paper: cells
+// a, b, c, d, f with reconvergence through c, rooted at output f.
+//
+//	a <- (x, y);  b <- (y, z);  c <- (z, w)
+//	d <- (a, c);  f <- (b, c, d)... simplified to match the figure's
+//
+// tree {f, d, a, b, c} with c reconverging into both d and f.
+func buildFig8(t *testing.T) *Netlist {
+	t.Helper()
+	n := New("fig8")
+	for _, in := range []string{"x", "y", "z", "w"} {
+		n.AddCell(in, IPad, 0)
+	}
+	a := n.AddCell("a", LUT, 2)
+	n.ConnectByName(a.ID, 0, "x")
+	n.ConnectByName(a.ID, 1, "y")
+	b := n.AddCell("b", LUT, 2)
+	n.ConnectByName(b.ID, 0, "y")
+	n.ConnectByName(b.ID, 1, "z")
+	c := n.AddCell("c", LUT, 2)
+	n.ConnectByName(c.ID, 0, "z")
+	n.ConnectByName(c.ID, 1, "w")
+	d := n.AddCell("d", LUT, 2)
+	n.ConnectByName(d.ID, 0, "a")
+	n.ConnectByName(d.ID, 1, "c")
+	f := n.AddCell("f", LUT, 3)
+	n.ConnectByName(f.ID, 0, "b")
+	n.ConnectByName(f.ID, 1, "c")
+	n.ConnectByName(f.ID, 2, "d")
+	o := n.AddCell("out", OPad, 1)
+	n.ConnectByName(o.ID, 0, "f")
+	if err := n.Validate(); err != nil {
+		t.Fatalf("fig8 netlist invalid: %v", err)
+	}
+	return n
+}
+
+func TestAddAndConnect(t *testing.T) {
+	n := buildFig8(t)
+	if n.NumCells() != 10 {
+		t.Errorf("NumCells = %d, want 10", n.NumCells())
+	}
+	if n.NumLUTs() != 5 {
+		t.Errorf("NumLUTs = %d, want 5", n.NumLUTs())
+	}
+	if n.NumIOs() != 5 {
+		t.Errorf("NumIOs = %d, want 5", n.NumIOs())
+	}
+	cID, _ := n.CellByName("c")
+	out := n.Cell(cID).Out
+	if got := len(n.Net(out).Sinks); got != 2 {
+		t.Errorf("net c fanout = %d, want 2 (reconvergence into d and f)", got)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	n := New("dup")
+	n.AddCell("a", IPad, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate cell name")
+		}
+	}()
+	n.AddCell("a", LUT, 2)
+}
+
+func TestReplicate(t *testing.T) {
+	n := buildFig8(t)
+	cID, _ := n.CellByName("c")
+	rep := n.Replicate(cID)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("invalid after Replicate: %v", err)
+	}
+	if !n.Equivalent(cID, rep.ID) {
+		t.Error("replica should be logically equivalent to original")
+	}
+	if rep.Name != "c_r" {
+		t.Errorf("replica name = %q, want c_r", rep.Name)
+	}
+	// Replica shares fanin nets with the original.
+	orig := n.Cell(cID)
+	for pin := range orig.Fanin {
+		if rep.Fanin[pin] != orig.Fanin[pin] {
+			t.Errorf("pin %d: replica fanin differs from original", pin)
+		}
+	}
+	// Replica drives an empty net until sinks are moved.
+	if got := len(n.Net(rep.Out).Sinks); got != 0 {
+		t.Errorf("fresh replica fanout = %d, want 0", got)
+	}
+	// A second replica gets a distinct name and same class.
+	rep2 := n.Replicate(cID)
+	if rep2.Name == rep.Name {
+		t.Error("second replica must get a fresh name")
+	}
+	if got := len(n.EquivClass(cID)); got != 3 {
+		t.Errorf("equivalence class size = %d, want 3", got)
+	}
+}
+
+func TestFanoutPartitioning(t *testing.T) {
+	// Replicate c and move the d-sink to the replica, as the paper's
+	// Fig. 2 does: c' feeds only b-side, c feeds only d-side.
+	n := buildFig8(t)
+	cID, _ := n.CellByName("c")
+	dID, _ := n.CellByName("d")
+	rep := n.Replicate(cID)
+	n.MoveSink(Pin{dID, 1}, rep.ID)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("invalid after MoveSink: %v", err)
+	}
+	if got := len(n.Net(n.Cell(cID).Out).Sinks); got != 1 {
+		t.Errorf("c fanout after partition = %d, want 1", got)
+	}
+	if got := len(n.Net(rep.Out).Sinks); got != 1 {
+		t.Errorf("c_r fanout after partition = %d, want 1", got)
+	}
+	if n.Cell(dID).Fanin[1] != rep.Out {
+		t.Error("d pin 1 should now read the replica's net")
+	}
+}
+
+func TestUnify(t *testing.T) {
+	n := buildFig8(t)
+	cID, _ := n.CellByName("c")
+	dID, _ := n.CellByName("d")
+	rep := n.Replicate(cID)
+	repID := rep.ID
+	n.MoveSink(Pin{dID, 1}, repID)
+	before := n.NumCells()
+	n.Unify(cID, repID)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("invalid after Unify: %v", err)
+	}
+	if n.Alive(repID) {
+		t.Error("unified replica should be deleted")
+	}
+	if n.NumCells() != before-1 {
+		t.Errorf("NumCells = %d, want %d", n.NumCells(), before-1)
+	}
+	if n.Cell(dID).Fanin[1] != n.Cell(cID).Out {
+		t.Error("d pin 1 should read c again after unification")
+	}
+}
+
+func TestDeleteIfRedundantRecursive(t *testing.T) {
+	// Build a chain i -> l1 -> l2 -> o, then cut o's input: deleting
+	// recursively should remove l2 then l1 but never the pad i.
+	n := New("chain")
+	n.AddCell("i", IPad, 0)
+	l1 := n.AddCell("l1", LUT, 1)
+	n.ConnectByName(l1.ID, 0, "i")
+	l2 := n.AddCell("l2", LUT, 1)
+	n.ConnectByName(l2.ID, 0, "l1")
+	o := n.AddCell("o", OPad, 1)
+	n.ConnectByName(o.ID, 0, "l2")
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Detach the output pad (simulate its sink moving elsewhere).
+	iID, _ := n.CellByName("i")
+	n.Connect(o.ID, 0, n.Cell(iID).Out) // o now reads i directly
+	deleted := n.DeleteIfRedundant(l2.ID)
+	if deleted != 2 {
+		t.Errorf("deleted = %d, want 2 (l2 and l1)", deleted)
+	}
+	if n.Alive(l2.ID) || n.Alive(l1.ID) {
+		t.Error("l1 and l2 should be deleted")
+	}
+	if !n.Alive(iID) {
+		t.Error("input pad must survive")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("invalid after recursive delete: %v", err)
+	}
+}
+
+func TestDeleteIfRedundantKeepsDrivenCells(t *testing.T) {
+	n := buildFig8(t)
+	cID, _ := n.CellByName("c")
+	if n.DeleteIfRedundant(cID) != 0 {
+		t.Error("cell with fanout must not be deleted")
+	}
+	if !n.Alive(cID) {
+		t.Error("c should still be alive")
+	}
+}
+
+func TestUnifyInequivalentPanics(t *testing.T) {
+	n := buildFig8(t)
+	aID, _ := n.CellByName("a")
+	bID, _ := n.CellByName("b")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic unifying inequivalent cells")
+		}
+	}()
+	n.Unify(aID, bID)
+}
+
+func TestTopoOrder(t *testing.T) {
+	n := buildFig8(t)
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n.NumCells() {
+		t.Fatalf("order has %d cells, want %d", len(order), n.NumCells())
+	}
+	pos := map[CellID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	n.Cells(func(c *Cell) {
+		if c.IsSource() {
+			return
+		}
+		for _, net := range c.Fanin {
+			if net == None {
+				continue
+			}
+			d := n.Net(net).Driver
+			if pos[d] >= pos[c.ID] {
+				t.Errorf("cell %s ordered before its driver %s", c.Name, n.Cell(d).Name)
+			}
+		}
+	})
+}
+
+func TestTopoOrderRegisteredCutsCycles(t *testing.T) {
+	// r (registered) feeds l, l feeds r: legal sequential loop.
+	n := New("loop")
+	r := n.AddCell("r", LUT, 1)
+	r.Registered = true
+	l := n.AddCell("l", LUT, 1)
+	n.ConnectByName(l.ID, 0, "r")
+	n.ConnectByName(r.ID, 0, "l")
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatalf("registered loop should be orderable: %v", err)
+	}
+	if len(order) != 2 {
+		t.Errorf("order length = %d, want 2", len(order))
+	}
+}
+
+func TestTopoOrderDetectsCombinationalCycle(t *testing.T) {
+	n := New("badloop")
+	a := n.AddCell("a", LUT, 1)
+	b := n.AddCell("b", LUT, 1)
+	n.ConnectByName(a.ID, 0, "b")
+	n.ConnectByName(b.ID, 0, "a")
+	if _, err := n.TopoOrder(); err == nil {
+		t.Error("combinational cycle should be an error")
+	}
+	_ = a
+	_ = b
+}
+
+func TestFaninCone(t *testing.T) {
+	n := buildFig8(t)
+	fID, _ := n.CellByName("f")
+	cone := n.FaninCone(fID)
+	for _, name := range []string{"f", "d", "a", "b", "c", "x", "y", "z", "w"} {
+		id, _ := n.CellByName(name)
+		if !cone[id] {
+			t.Errorf("%s should be in fanin cone of f", name)
+		}
+	}
+	oID, _ := n.CellByName("out")
+	if cone[oID] {
+		t.Error("out pad should not be in fanin cone of f")
+	}
+}
+
+func TestFaninConeStopsAtRegisters(t *testing.T) {
+	n := New("seq")
+	n.AddCell("i", IPad, 0)
+	r := n.AddCell("r", LUT, 1)
+	r.Registered = true
+	n.ConnectByName(r.ID, 0, "i")
+	l := n.AddCell("l", LUT, 1)
+	n.ConnectByName(l.ID, 0, "r")
+	o := n.AddCell("o", OPad, 1)
+	n.ConnectByName(o.ID, 0, "l")
+	cone := n.FaninCone(o.ID)
+	iID, _ := n.CellByName("i")
+	if cone[iID] {
+		t.Error("cone must stop at the registered LUT r, not include i")
+	}
+	if !cone[r.ID] || !cone[l.ID] {
+		t.Error("cone should include r and l")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := buildFig8(t)
+	c := n.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	cID, _ := c.CellByName("c")
+	c.Replicate(cID)
+	if n.NumCells() == c.NumCells() {
+		t.Error("editing clone must not affect original count")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("original corrupted by clone edit: %v", err)
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	n := buildFig8(t)
+	// Mark one LUT registered to exercise the reg keyword.
+	aID, _ := n.CellByName("a")
+	n.Cell(aID).Registered = true
+
+	var sb strings.Builder
+	if err := n.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Read: %v\ninput:\n%s", err, sb.String())
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped netlist invalid: %v", err)
+	}
+	if back.Name != "fig8" {
+		t.Errorf("name = %q, want fig8", back.Name)
+	}
+	if back.NumCells() != n.NumCells() || back.NumNets() != n.NumNets() {
+		t.Errorf("cells/nets = %d/%d, want %d/%d",
+			back.NumCells(), back.NumNets(), n.NumCells(), n.NumNets())
+	}
+	a2, _ := back.CellByName("a")
+	if !back.Cell(a2).Registered {
+		t.Error("registered flag lost in round trip")
+	}
+	// Connectivity: d reads a and c.
+	d2, _ := back.CellByName("d")
+	want := []string{"a", "c"}
+	for pin, sig := range want {
+		driver := back.Net(back.Cell(d2).Fanin[pin]).Driver
+		if got := back.Cell(driver).Name; got != sig {
+			t.Errorf("d pin %d driven by %q, want %q", pin, got, sig)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"bogus x",
+		"input",
+		"output o",
+		"lut",
+		"output o missing_signal",
+		"input i\noutput o i\nlut l o", // reading from an output pad
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) should fail", src)
+		}
+	}
+}
+
+func TestReadForwardReference(t *testing.T) {
+	src := `circuit fwd
+output o l2
+lut l2 l1
+lut l1 i
+input i
+`
+	n, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	n := buildFig8(t)
+	cID, _ := n.CellByName("c")
+	// Corrupt: make c's equiv class collide with a's (structurally
+	// different fanins).
+	aID, _ := n.CellByName("a")
+	n.Cell(cID).Equiv = n.Cell(aID).Equiv
+	if err := n.Validate(); err == nil {
+		t.Error("Validate should reject structurally inconsistent equivalence class")
+	}
+}
+
+func TestSortedCellNames(t *testing.T) {
+	n := buildFig8(t)
+	names := n.SortedCellNames()
+	if len(names) != n.NumCells() {
+		t.Fatalf("len = %d, want %d", len(names), n.NumCells())
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}

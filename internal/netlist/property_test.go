@@ -1,0 +1,172 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomEditSequence drives the netlist through long random
+// sequences of the editing operations the replication engine uses —
+// Replicate, MoveSink, Unify, DeleteIfRedundant — and checks that
+// Validate holds after every step. This is the safety net for the
+// engine's most intricate state.
+func TestRandomEditSequence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := buildRandom(t, rng, 40)
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(4) {
+			case 0: // replicate a random multi-fanout LUT
+				if v, ok := randomLUT(rng, n, 2); ok {
+					rep := n.Replicate(v)
+					// Move a random subset of sinks to the replica.
+					sinks := append([]Pin(nil), n.Net(n.Cell(v).Out).Sinks...)
+					for _, p := range sinks {
+						if rng.Intn(2) == 0 {
+							n.MoveSink(p, rep.ID)
+						}
+					}
+					// A replica left driving nothing is redundant.
+					n.DeleteIfRedundant(rep.ID)
+				}
+			case 1: // unify a random equivalence pair
+				if v, ok := randomLUT(rng, n, 0); ok {
+					class := n.EquivClass(v)
+					if len(class) >= 2 {
+						n.Unify(class[0], class[1])
+					}
+				}
+			case 2: // rewire a random sink onto an equivalent driver
+				if v, ok := randomLUT(rng, n, 1); ok {
+					class := n.EquivClass(v)
+					other := class[rng.Intn(len(class))]
+					sinks := n.Net(n.Cell(v).Out).Sinks
+					if len(sinks) > 0 && other != v {
+						n.MoveSink(sinks[rng.Intn(len(sinks))], other)
+						n.DeleteIfRedundant(v)
+					}
+				}
+			case 3: // sweep any redundant cell
+				if v, ok := randomLUT(rng, n, 0); ok {
+					if len(n.Net(n.Cell(v).Out).Sinks) == 0 {
+						n.DeleteIfRedundant(v)
+					}
+				}
+			}
+			if err := n.Validate(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+		}
+		// The circuit must still be acyclic and analyzable.
+		if _, err := n.TopoOrder(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// buildRandom constructs a random layered netlist for property tests.
+func buildRandom(t *testing.T, rng *rand.Rand, luts int) *Netlist {
+	t.Helper()
+	n := New("prop")
+	var signals []CellID
+	for i := 0; i < 6; i++ {
+		c := n.AddCell(fmt.Sprintf("pi%d", i), IPad, 0)
+		signals = append(signals, c.ID)
+	}
+	for i := 0; i < luts; i++ {
+		k := 1 + rng.Intn(3)
+		c := n.AddCell(fmt.Sprintf("n%d", i), LUT, k)
+		for p := 0; p < k; p++ {
+			src := signals[rng.Intn(len(signals))]
+			n.Connect(c.ID, p, n.Cell(src).Out)
+		}
+		signals = append(signals, c.ID)
+	}
+	for i := 0; i < 6; i++ {
+		c := n.AddCell(fmt.Sprintf("po%d", i), OPad, 1)
+		src := signals[len(signals)-1-rng.Intn(luts)]
+		n.Connect(c.ID, 0, n.Cell(src).Out)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// randomLUT picks a live LUT with at least minFanout sinks.
+func randomLUT(rng *rand.Rand, n *Netlist, minFanout int) (CellID, bool) {
+	var cands []CellID
+	n.Cells(func(c *Cell) {
+		if c.Kind == LUT && len(n.Net(c.Out).Sinks) >= minFanout {
+			cands = append(cands, c.ID)
+		}
+	})
+	if len(cands) == 0 {
+		return 0, false
+	}
+	return cands[rng.Intn(len(cands))], true
+}
+
+// TestCloneEqualsOriginal: a clone validates and has identical
+// structural fingerprint.
+func TestCloneEqualsOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := buildRandom(t, rng, 30)
+	c := n.Clone()
+	fp := func(n *Netlist) string {
+		s := ""
+		n.Cells(func(cell *Cell) {
+			s += cell.Name + "("
+			for _, net := range cell.Fanin {
+				if net != None {
+					s += n.Cell(n.Net(net).Driver).Name + ","
+				}
+			}
+			s += ");"
+		})
+		return s
+	}
+	if fp(n) != fp(c) {
+		t.Error("clone fingerprint differs")
+	}
+}
+
+// TestReplicateUnifyRoundTrip: replicate + move all sinks + unify back
+// restores the exact original fanout set.
+func TestReplicateUnifyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := buildRandom(t, rng, 30)
+	v, ok := randomLUT(rng, n, 2)
+	if !ok {
+		t.Skip("no multi-fanout LUT")
+	}
+	origSinks := map[Pin]bool{}
+	for _, p := range n.Net(n.Cell(v).Out).Sinks {
+		origSinks[p] = true
+	}
+	rep := n.Replicate(v)
+	for _, p := range append([]Pin(nil), n.Net(n.Cell(v).Out).Sinks...) {
+		n.MoveSink(p, rep.ID)
+	}
+	// v is now redundant; unify back onto v.
+	n.Unify(v, rep.ID)
+	if n.Alive(rep.ID) {
+		t.Fatal("replica should be gone")
+	}
+	got := map[Pin]bool{}
+	for _, p := range n.Net(n.Cell(v).Out).Sinks {
+		got[p] = true
+	}
+	if len(got) != len(origSinks) {
+		t.Fatalf("fanout set changed: %d vs %d", len(got), len(origSinks))
+	}
+	for p := range origSinks {
+		if !got[p] {
+			t.Fatalf("sink %v lost in round trip", p)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package netlist
+
+import "fmt"
+
+// TopoOrder returns the live cells in combinational topological order:
+// every LUT appears after the drivers of all its fanin nets, except
+// that edges *into* timing sources (registered LUTs, pads) do not
+// constrain the order — registered cells cut cycles exactly as
+// flip-flops do in static timing analysis.
+//
+// It returns an error if the combinational subgraph contains a cycle
+// (a combinational loop), which is illegal in the target netlists.
+func (n *Netlist) TopoOrder() ([]CellID, error) {
+	indeg := make([]int32, len(n.cells))
+	order := make([]CellID, 0, n.numLive)
+	queue := make([]CellID, 0, n.numLive)
+
+	for i := range n.cells {
+		c := &n.cells[i]
+		if c.Dead {
+			continue
+		}
+		if c.IsSource() {
+			// Sources never wait on their inputs.
+			queue = append(queue, c.ID)
+			continue
+		}
+		d := int32(0)
+		for _, net := range c.Fanin {
+			if net != None {
+				d++
+			}
+		}
+		indeg[i] = d
+		if d == 0 {
+			queue = append(queue, c.ID)
+		}
+	}
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		c := &n.cells[id]
+		if c.Out == None {
+			continue
+		}
+		// A source's *combinational* output still propagates: its
+		// sinks' arrival depends on it. Registered outputs restart
+		// timing but still feed downstream combinational logic, so the
+		// order must respect those edges too — unless the sink is
+		// itself a source (its inputs end a path).
+		for _, p := range n.nets[c.Out].Sinks {
+			sc := &n.cells[p.Cell]
+			if sc.IsSource() {
+				continue // already enqueued; edge ends a path
+			}
+			indeg[p.Cell]--
+			if indeg[p.Cell] == 0 {
+				queue = append(queue, p.Cell)
+			}
+		}
+	}
+
+	if len(order) != n.numLive {
+		return nil, fmt.Errorf("netlist %s: combinational cycle detected (%d of %d cells ordered)",
+			n.Name, len(order), n.numLive)
+	}
+	return order, nil
+}
+
+// FaninCone returns the set of cells from which sink is combinationally
+// reachable, including sink itself. Traversal stops at timing sources
+// (their inputs belong to the previous clock cycle).
+func (n *Netlist) FaninCone(sink CellID) map[CellID]bool {
+	cone := map[CellID]bool{sink: true}
+	stack := []CellID{sink}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := n.Cell(id)
+		if c.IsSource() && id != sink {
+			continue
+		}
+		for _, net := range c.Fanin {
+			if net == None {
+				continue
+			}
+			d := n.Net(net).Driver
+			if !cone[d] {
+				cone[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	return cone
+}

@@ -1,0 +1,211 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+	"repro/internal/timing"
+	"repro/internal/wire"
+)
+
+// randomCircuit builds a deterministic random layered circuit with the
+// given LUT and IO counts.
+func randomCircuit(t *testing.T, seed int64, luts, inputs, outputs int) *netlist.Netlist {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := netlist.New("rand")
+	var signals []string
+	for i := 0; i < inputs; i++ {
+		name := "i" + itoa(i)
+		n.AddCell(name, netlist.IPad, 0)
+		signals = append(signals, name)
+	}
+	for i := 0; i < luts; i++ {
+		name := "l" + itoa(i)
+		k := 1 + rng.Intn(3)
+		if k > len(signals) {
+			k = len(signals)
+		}
+		c := n.AddCell(name, netlist.LUT, k)
+		for p := 0; p < k; p++ {
+			// Bias toward recent signals for locality.
+			idx := len(signals) - 1 - rng.Intn(min(len(signals), 12))
+			n.ConnectByName(c.ID, p, signals[idx])
+		}
+		signals = append(signals, name)
+	}
+	for i := 0; i < outputs; i++ {
+		c := n.AddCell("o"+itoa(i), netlist.OPad, 1)
+		idx := len(signals) - 1 - rng.Intn(min(len(signals), luts))
+		n.ConnectByName(c.ID, 0, signals[idx])
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fastOpts(seed int64) Options {
+	o := Defaults()
+	o.Seed = seed
+	o.Effort = 1 // keep unit tests quick
+	return o
+}
+
+func TestPlaceValidAndLegal(t *testing.T) {
+	nl := randomCircuit(t, 7, 60, 8, 8)
+	f := arch.MinSquare(nl.NumLUTs(), nl.NumIOs())
+	pl, err := Place(nl, f, fastOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(nl); err != nil {
+		t.Fatalf("placement invalid: %v", err)
+	}
+	if !pl.Legal() {
+		t.Fatal("placement over capacity")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	nl := randomCircuit(t, 7, 40, 6, 6)
+	f := arch.MinSquare(nl.NumLUTs(), nl.NumIOs())
+	p1, err := Place(nl, f, fastOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Place(nl, f, fastOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	nl.Cells(func(c *netlist.Cell) {
+		if p1.Loc(c.ID) != p2.Loc(c.ID) {
+			same = false
+		}
+	})
+	if !same {
+		t.Error("same seed must give identical placements")
+	}
+	p3, err := Place(nl, f, fastOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	nl.Cells(func(c *netlist.Cell) {
+		if p1.Loc(c.ID) != p3.Loc(c.ID) {
+			diff = true
+		}
+	})
+	if !diff {
+		t.Error("different seeds should give different placements")
+	}
+}
+
+func TestPlaceBeatsRandom(t *testing.T) {
+	nl := randomCircuit(t, 11, 80, 10, 10)
+	f := arch.MinSquare(nl.NumLUTs(), nl.NumIOs())
+	// Random baseline: the annealer's own initial scatter.
+	s := newState(nl, f, fastOpts(5))
+	s.initialRandom()
+	randomWire := wire.TotalCost(nl, s.pl)
+	ra, err := timing.Analyze(nl, s.pl, s.opt.Delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Place(nl, f, fastOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealedWire := wire.TotalCost(nl, pl)
+	aa, err := timing.Analyze(nl, pl, s.opt.Delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annealedWire >= randomWire {
+		t.Errorf("annealed wire %v not better than random %v", annealedWire, randomWire)
+	}
+	if aa.Period >= ra.Period {
+		t.Errorf("annealed period %v not better than random %v", aa.Period, ra.Period)
+	}
+}
+
+func TestTimingDrivenBeatsWireDrivenOnDelay(t *testing.T) {
+	nl := randomCircuit(t, 13, 100, 10, 10)
+	f := arch.MinSquare(nl.NumLUTs(), nl.NumIOs())
+	dm := Defaults().Delay
+
+	bestTD, bestWD := 1e18, 1e18
+	// Annealing is noisy at Effort 1; compare best-of-3.
+	for seed := int64(1); seed <= 3; seed++ {
+		td := fastOpts(seed)
+		plTD, err := Place(nl, f, td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aTD, _ := timing.Analyze(nl, plTD, dm)
+		if aTD.Period < bestTD {
+			bestTD = aTD.Period
+		}
+		wd := fastOpts(seed)
+		wd.Lambda = 0
+		plWD, err := Place(nl, f, wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aWD, _ := timing.Analyze(nl, plWD, dm)
+		if aWD.Period < bestWD {
+			bestWD = aWD.Period
+		}
+	}
+	if bestTD > bestWD {
+		t.Errorf("timing-driven period %v worse than wire-driven %v", bestTD, bestWD)
+	}
+}
+
+func TestPlaceTooBigFails(t *testing.T) {
+	nl := randomCircuit(t, 7, 30, 4, 4)
+	f := arch.New(3) // 9 logic slots for 30 LUTs
+	if _, err := Place(nl, f, fastOpts(1)); err == nil {
+		t.Error("expected capacity error")
+	}
+}
+
+func TestPadsStayOnRing(t *testing.T) {
+	nl := randomCircuit(t, 19, 50, 12, 12)
+	f := arch.MinSquare(nl.NumLUTs(), nl.NumIOs())
+	pl, err := Place(nl, f, fastOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells(func(c *netlist.Cell) {
+		l := pl.Loc(c.ID)
+		if c.Kind == netlist.LUT && !f.IsLogic(l) {
+			t.Errorf("LUT %s on non-logic slot %v", c.Name, l)
+		}
+		if c.Kind != netlist.LUT && !f.IsIO(l) {
+			t.Errorf("pad %s off the IO ring at %v", c.Name, l)
+		}
+	})
+}

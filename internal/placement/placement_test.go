@@ -1,0 +1,289 @@
+package placement
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+)
+
+func tinyNetlist(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("tiny")
+	n.AddCell("i0", netlist.IPad, 0)
+	n.AddCell("i1", netlist.IPad, 0)
+	l0 := n.AddCell("l0", netlist.LUT, 2)
+	n.ConnectByName(l0.ID, 0, "i0")
+	n.ConnectByName(l0.ID, 1, "i1")
+	l1 := n.AddCell("l1", netlist.LUT, 1)
+	n.ConnectByName(l1.ID, 0, "l0")
+	o := n.AddCell("o", netlist.OPad, 1)
+	n.ConnectByName(o.ID, 0, "l1")
+	return n
+}
+
+func TestPlaceAndLookup(t *testing.T) {
+	n := tinyNetlist(t)
+	f := arch.New(4)
+	p := New(f, n)
+	l0, _ := n.CellByName("l0")
+	if p.Placed(l0) {
+		t.Error("fresh placement should have unplaced cells")
+	}
+	p.Place(l0, arch.Loc{X: 2, Y: 3})
+	if !p.Placed(l0) || p.Loc(l0) != (arch.Loc{X: 2, Y: 3}) {
+		t.Error("Place/Loc mismatch")
+	}
+	if p.Usage(arch.Loc{X: 2, Y: 3}) != 1 {
+		t.Error("usage should be 1")
+	}
+	// Re-placing moves the cell.
+	p.Place(l0, arch.Loc{X: 1, Y: 1})
+	if p.Usage(arch.Loc{X: 2, Y: 3}) != 0 {
+		t.Error("old slot should be empty after move")
+	}
+	if p.Loc(l0) != (arch.Loc{X: 1, Y: 1}) {
+		t.Error("move did not update location")
+	}
+}
+
+func TestOverCapacityAndLegal(t *testing.T) {
+	n := tinyNetlist(t)
+	f := arch.New(4)
+	p := New(f, n)
+	l0, _ := n.CellByName("l0")
+	l1, _ := n.CellByName("l1")
+	slot := arch.Loc{X: 2, Y: 2}
+	p.Place(l0, slot)
+	if !p.Legal() {
+		t.Error("single occupancy should be legal")
+	}
+	p.Place(l1, slot)
+	over := p.OverCapacity()
+	if len(over) != 1 || over[0] != slot {
+		t.Errorf("OverCapacity = %v, want [%v]", over, slot)
+	}
+	if p.Legal() {
+		t.Error("double occupancy of capacity-1 CLB should be illegal")
+	}
+	// IO slots hold IORat pads legally.
+	i0, _ := n.CellByName("i0")
+	i1, _ := n.CellByName("i1")
+	io := arch.Loc{X: 0, Y: 1}
+	p.Place(i0, io)
+	p.Place(i1, io)
+	for _, l := range p.OverCapacity() {
+		if l == io {
+			t.Error("two pads in one IO slot (IORat=2) should be legal")
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	n := tinyNetlist(t)
+	p := New(arch.New(4), n)
+	l0, _ := n.CellByName("l0")
+	p.Place(l0, arch.Loc{X: 1, Y: 2})
+	p.Remove(l0)
+	if p.Placed(l0) {
+		t.Error("cell should be unplaced after Remove")
+	}
+	if p.Usage(arch.Loc{X: 1, Y: 2}) != 0 {
+		t.Error("slot should be empty after Remove")
+	}
+	p.Remove(l0) // idempotent
+}
+
+func TestGrowForReplicas(t *testing.T) {
+	n := tinyNetlist(t)
+	p := New(arch.New(4), n)
+	l0, _ := n.CellByName("l0")
+	p.Place(l0, arch.Loc{X: 1, Y: 1})
+	rep := n.Replicate(l0)
+	p.Place(rep.ID, arch.Loc{X: 2, Y: 2}) // must not panic
+	if p.Loc(rep.ID) != (arch.Loc{X: 2, Y: 2}) {
+		t.Error("replica placement lost")
+	}
+}
+
+func TestNearestFreeLogic(t *testing.T) {
+	n := tinyNetlist(t)
+	f := arch.New(3)
+	p := New(f, n)
+	center := arch.Loc{X: 2, Y: 2}
+	got, ok := p.NearestFreeLogic(center)
+	if !ok || got != center {
+		t.Errorf("empty grid: nearest free to center = %v, want %v", got, center)
+	}
+	l0, _ := n.CellByName("l0")
+	p.Place(l0, center)
+	got, ok = p.NearestFreeLogic(center)
+	if !ok || arch.Dist(got, center) != 1 {
+		t.Errorf("nearest free should be at distance 1, got %v", got)
+	}
+}
+
+func TestNearestFreeLogicFullDevice(t *testing.T) {
+	nl := netlist.New("full")
+	f := arch.New(2)
+	p := New(f, nl)
+	for i, s := range f.LogicSlots() {
+		c := nl.AddCell(string(rune('a'+i)), netlist.LUT, 0)
+		p.Place(c.ID, s)
+	}
+	if _, ok := p.NearestFreeLogic(arch.Loc{X: 1, Y: 1}); ok {
+		t.Error("full device should report no free slot")
+	}
+}
+
+func TestQuadrantFreeSlots(t *testing.T) {
+	nl := netlist.New("q")
+	f := arch.New(5)
+	p := New(f, nl)
+	center := arch.Loc{X: 3, Y: 3}
+	slots := p.QuadrantFreeSlots(center)
+	if len(slots) != 4 {
+		t.Fatalf("empty grid should yield 4 quadrant slots, got %d", len(slots))
+	}
+	// Each returned slot should be free, and they must cover 4
+	// distinct quadrants.
+	quads := map[int]bool{}
+	for _, s := range slots {
+		if !p.FreeLogicSlot(s) {
+			t.Errorf("slot %v not free", s)
+		}
+		q := 0
+		if s.X < center.X {
+			q |= 1
+		}
+		if s.Y < center.Y {
+			q |= 2
+		}
+		quads[q] = true
+	}
+	if len(quads) != 4 {
+		t.Errorf("slots cover %d quadrants, want 4", len(quads))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	n := tinyNetlist(t)
+	p := New(arch.New(4), n)
+	l0, _ := n.CellByName("l0")
+	p.Place(l0, arch.Loc{X: 1, Y: 1})
+	c := p.Clone()
+	c.Place(l0, arch.Loc{X: 2, Y: 2})
+	if p.Loc(l0) != (arch.Loc{X: 1, Y: 1}) {
+		t.Error("clone edit leaked into original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := tinyNetlist(t)
+	f := arch.New(4)
+	p := New(f, n)
+	if err := p.Validate(n); err == nil {
+		t.Error("unplaced netlist should fail validation")
+	}
+	// Place everything properly.
+	ioSlots := f.IOSlots()
+	ioIdx := 0
+	logic := f.LogicSlots()
+	logicIdx := 0
+	n.Cells(func(c *netlist.Cell) {
+		if c.Kind == netlist.LUT {
+			p.Place(c.ID, logic[logicIdx])
+			logicIdx++
+		} else {
+			p.Place(c.ID, ioSlots[ioIdx])
+			ioIdx++
+		}
+	})
+	if err := p.Validate(n); err != nil {
+		t.Errorf("valid placement rejected: %v", err)
+	}
+	// A pad on a logic slot must be rejected.
+	i0, _ := n.CellByName("i0")
+	p.Place(i0, arch.Loc{X: 1, Y: 1})
+	if err := p.Validate(n); err == nil {
+		t.Error("pad on logic slot should fail validation")
+	}
+}
+
+func TestOccupancyConsistencyRandomized(t *testing.T) {
+	// Property: after any sequence of Place/Remove, Usage sums to the
+	// number of placed cells and every placed cell appears at its slot.
+	rng := rand.New(rand.NewSource(7))
+	nl := netlist.New("rand")
+	var ids []netlist.CellID
+	for i := 0; i < 40; i++ {
+		c := nl.AddCell(string(rune('A'+i%26))+string(rune('a'+i/26)), netlist.LUT, 0)
+		ids = append(ids, c.ID)
+	}
+	f := arch.New(6)
+	p := New(f, nl)
+	logic := f.LogicSlots()
+	for step := 0; step < 500; step++ {
+		id := ids[rng.Intn(len(ids))]
+		if rng.Intn(4) == 0 {
+			p.Remove(id)
+		} else {
+			p.Place(id, logic[rng.Intn(len(logic))])
+		}
+	}
+	placed := 0
+	total := 0
+	for _, s := range logic {
+		total += p.Usage(s)
+	}
+	for _, id := range ids {
+		if p.Placed(id) {
+			placed++
+			found := false
+			for _, c := range p.At(p.Loc(id)) {
+				if c == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("cell %d not in occupancy of its own slot", id)
+			}
+		}
+	}
+	if placed != total {
+		t.Errorf("placed cells %d != total occupancy %d", placed, total)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	n := tinyNetlist(t)
+	f := arch.New(3)
+	p := New(f, n)
+	l0, _ := n.CellByName("l0")
+	l1, _ := n.CellByName("l1")
+	i0, _ := n.CellByName("i0")
+	p.Place(l0, arch.Loc{X: 2, Y: 2})
+	p.Place(l1, arch.Loc{X: 2, Y: 2}) // overfull
+	p.Place(i0, arch.Loc{X: 0, Y: 1})
+	out := p.Plot(n, map[netlist.CellID]bool{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // header + 5 rows (N+2)
+		t.Fatalf("plot has %d lines:\n%s", len(lines), out)
+	}
+	// Row for y=2 is lines[3] (printed top-down from y=4).
+	row2 := lines[3]
+	if row2[2] != '*' {
+		t.Errorf("overfull slot should render '*':\n%s", out)
+	}
+	row1 := lines[4]
+	if row1[0] != 'i' {
+		t.Errorf("input pad should render 'i':\n%s", out)
+	}
+	// Highlighting wins.
+	out = p.Plot(n, map[netlist.CellID]bool{l0: true})
+	if !strings.Contains(out, "+") {
+		t.Errorf("highlight missing:\n%s", out)
+	}
+}

@@ -1,0 +1,519 @@
+// Package route is a negotiated-congestion (PathFinder-style) detailed
+// router over a tile grid — the stand-in for VPR's router used to
+// assess results post-placement, exactly as the paper's flow does
+// ("we then pass it to the VPR detailed router to accurately assess
+// the results"). It supports the two evaluation regimes of Table I:
+//
+//   - infinite-resource routing (W∞): unbounded channel capacity, the
+//     placement-evaluation metric of Marquardt et al.;
+//   - low-stress routing (W_ls): capacity fixed at 1.2 × Wmin, where
+//     Wmin is found by binary search — "how an FPGA will be routed in
+//     practice".
+//
+// The routing fabric is modeled as one routing node per grid tile with
+// a per-tile track capacity; a net is a Steiner tree over tiles grown
+// by repeated Dijkstra expansions. Congestion is negotiated with
+// PathFinder's present-sharing and history costs, rip-up and reroute.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+	"repro/internal/timing"
+)
+
+// Options tunes a routing run.
+type Options struct {
+	// ChannelWidth is the per-tile track capacity; 0 means infinite
+	// resources (the W∞ regime).
+	ChannelWidth int
+	// MaxIters bounds the rip-up/reroute iterations.
+	MaxIters int
+	// PresFacInit/PresFacMult grow the present-congestion penalty each
+	// iteration; HistFac accumulates history cost.
+	PresFacInit float64
+	PresFacMult float64
+	HistFac     float64
+	// BBoxMargin pads each net's routing region (VPR routes within the
+	// net bounding box plus a margin).
+	BBoxMargin int
+}
+
+// Defaults returns the router defaults.
+func Defaults() Options {
+	return Options{
+		MaxIters:    30,
+		PresFacInit: 0.5,
+		PresFacMult: 1.8,
+		HistFac:     1.0,
+		BBoxMargin:  3,
+	}
+}
+
+// Result summarizes one routing run.
+type Result struct {
+	// Feasible reports whether the final routing has no overused tile.
+	Feasible bool
+	// Iterations actually used.
+	Iterations int
+	// WireLength is the total tree wire length over all nets, in tile
+	// steps.
+	WireLength int
+	// CritPath is the post-route clock period under the linear delay
+	// model with routed (not Manhattan) wire lengths.
+	CritPath float64
+	// ConnLen maps each connection to its routed length in tiles.
+	ConnLen map[Conn]int
+	// TileUsage maps each tile to the number of nets routed through
+	// it — the "actual channel occupancy" the paper's Section VIII
+	// proposes feeding back into the embedder's wire costs.
+	TileUsage map[arch.Loc]int
+}
+
+// Conn identifies a routed connection (net driver to one sink pin).
+type Conn struct {
+	Net  netlist.NetID
+	Sink netlist.Pin
+}
+
+// router carries one run's state.
+type router struct {
+	nl  *netlist.Netlist
+	pl  timing.Locator
+	f   *arch.FPGA
+	dm  arch.DelayModel
+	opt Options
+
+	w, h    int // tile grid dims: (N+2) x (N+2)
+	occ     []int16
+	hist    []float64
+	presFac float64
+
+	// Per-net routing trees: tile -> distance from driver.
+	trees   []map[int32]int32
+	connLen map[Conn]int
+
+	// Scratch buffers for Dijkstra, sized once.
+	dist    []float64
+	prev    []int32
+	visited []int32 // epoch marks
+	epoch   int32
+}
+
+// Route routes all nets of the placed netlist.
+func Route(nl *netlist.Netlist, pl timing.Locator, f *arch.FPGA, dm arch.DelayModel, opt Options) (*Result, error) {
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = Defaults().MaxIters
+	}
+	if opt.PresFacInit == 0 {
+		opt.PresFacInit = Defaults().PresFacInit
+	}
+	if opt.PresFacMult == 0 {
+		opt.PresFacMult = Defaults().PresFacMult
+	}
+	if opt.HistFac == 0 {
+		opt.HistFac = Defaults().HistFac
+	}
+	r := &router{
+		nl: nl, pl: pl, f: f, dm: dm, opt: opt,
+		w: f.N + 2, h: f.N + 2,
+	}
+	n := r.w * r.h
+	r.occ = make([]int16, n)
+	r.hist = make([]float64, n)
+	r.trees = make([]map[int32]int32, nl.NetCap())
+	r.dist = make([]float64, n)
+	r.prev = make([]int32, n)
+	r.visited = make([]int32, n)
+
+	nets := r.netOrder()
+	r.presFac = opt.PresFacInit
+	res := &Result{}
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		res.Iterations = iter + 1
+		// Rip up everything and reroute under current penalties (the
+		// original PathFinder formulation).
+		for i := range r.occ {
+			r.occ[i] = 0
+		}
+		r.connLen = make(map[Conn]int, len(r.connLen))
+		for _, netID := range nets {
+			if err := r.routeNet(netID); err != nil {
+				return nil, err
+			}
+		}
+		over := r.updateCongestion()
+		if over == 0 {
+			res.Feasible = true
+			break
+		}
+		if r.infinite() {
+			// Without capacity there is never overuse; defensive.
+			res.Feasible = true
+			break
+		}
+		r.presFac *= opt.PresFacMult
+	}
+	if r.infinite() {
+		res.Feasible = true
+	}
+	res.ConnLen = r.connLen
+	res.TileUsage = r.tileUsage()
+	res.WireLength = r.totalWire()
+	cp, err := r.critPath()
+	if err != nil {
+		return nil, err
+	}
+	res.CritPath = cp
+	return res, nil
+}
+
+func (r *router) infinite() bool { return r.opt.ChannelWidth <= 0 }
+
+func (r *router) cap() int {
+	if r.infinite() {
+		return 1 << 20
+	}
+	return r.opt.ChannelWidth
+}
+
+func (r *router) tile(l arch.Loc) int32 { return int32(int(l.Y)*r.w + int(l.X)) }
+
+func (r *router) loc(t int32) arch.Loc {
+	return arch.Loc{X: int16(int(t) % r.w), Y: int16(int(t) / r.w)}
+}
+
+// netOrder routes long nets first (their flexibility is lowest), a
+// common PathFinder ordering; it is deterministic.
+func (r *router) netOrder() []netlist.NetID {
+	type entry struct {
+		id   netlist.NetID
+		span int
+	}
+	var nets []entry
+	r.nl.Nets(func(n *netlist.Net) {
+		if len(n.Sinks) == 0 {
+			return
+		}
+		d := r.pl.Loc(n.Driver)
+		span := 0
+		for _, p := range n.Sinks {
+			if dd := arch.Dist(d, r.pl.Loc(p.Cell)); dd > span {
+				span = dd
+			}
+		}
+		nets = append(nets, entry{n.ID, span})
+	})
+	sort.Slice(nets, func(i, j int) bool {
+		if nets[i].span != nets[j].span {
+			return nets[i].span > nets[j].span
+		}
+		return nets[i].id < nets[j].id
+	})
+	out := make([]netlist.NetID, len(nets))
+	for i, e := range nets {
+		out[i] = e.id
+	}
+	return out
+}
+
+// nodeCost is the PathFinder cost of using a tile: (base + history) ×
+// present-sharing penalty.
+func (r *router) nodeCost(t int32) float64 {
+	base := 1.0 + r.hist[t]
+	over := int(r.occ[t]) + 1 - r.cap()
+	if over <= 0 {
+		return base
+	}
+	return base * (1 + float64(over)*r.presFac)
+}
+
+// routeNet grows the net's Steiner tree sink by sink (nearest first).
+func (r *router) routeNet(netID netlist.NetID) error {
+	net := r.nl.Net(netID)
+	driver := r.tile(r.pl.Loc(net.Driver))
+	tree := map[int32]int32{driver: 0}
+	r.trees[netID] = tree
+	r.occ[driver]++
+
+	// Region: net bounding box plus margin.
+	x0, y0, x1, y1 := r.region(net)
+
+	sinks := append([]netlist.Pin(nil), net.Sinks...)
+	dl := r.pl.Loc(net.Driver)
+	sort.Slice(sinks, func(i, j int) bool {
+		di := arch.Dist(dl, r.pl.Loc(sinks[i].Cell))
+		dj := arch.Dist(dl, r.pl.Loc(sinks[j].Cell))
+		if di != dj {
+			return di < dj
+		}
+		if sinks[i].Cell != sinks[j].Cell {
+			return sinks[i].Cell < sinks[j].Cell
+		}
+		return sinks[i].Input < sinks[j].Input
+	})
+	for _, p := range sinks {
+		target := r.tile(r.pl.Loc(p.Cell))
+		if _, onTree := tree[target]; onTree {
+			r.connLen[Conn{netID, p}] = int(tree[target])
+			continue
+		}
+		if err := r.connect(netID, tree, target, x0, y0, x1, y1); err != nil {
+			return fmt.Errorf("route: net %s sink %v: %w", net.Name, p, err)
+		}
+		r.connLen[Conn{netID, p}] = int(tree[target])
+	}
+	return nil
+}
+
+func (r *router) region(net *netlist.Net) (x0, y0, x1, y1 int) {
+	l := r.pl.Loc(net.Driver)
+	x0, x1, y0, y1 = int(l.X), int(l.X), int(l.Y), int(l.Y)
+	for _, p := range net.Sinks {
+		sl := r.pl.Loc(p.Cell)
+		x0 = min(x0, int(sl.X))
+		x1 = max(x1, int(sl.X))
+		y0 = min(y0, int(sl.Y))
+		y1 = max(y1, int(sl.Y))
+	}
+	m := r.opt.BBoxMargin
+	return max(0, x0-m), max(0, y0-m), min(r.w-1, x1+m), min(r.h-1, y1+m)
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	cost float64
+	tile int32
+}
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// connect runs a multi-source Dijkstra from the current tree to the
+// target tile and commits the found path to the tree.
+func (r *router) connect(netID netlist.NetID, tree map[int32]int32, target int32, x0, y0, x1, y1 int) error {
+	r.epoch++
+	var q pq
+	// Seed in sorted tile order: map iteration order would make
+	// zero-cost tie-breaking (and hence chosen routes) nondeterministic.
+	seeds := make([]int32, 0, len(tree))
+	for t := range tree {
+		seeds = append(seeds, t)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	for _, t := range seeds {
+		r.dist[t] = 0
+		r.prev[t] = -1
+		r.visited[t] = r.epoch
+		heap.Push(&q, pqItem{0, t})
+	}
+	found := false
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		t := it.tile
+		if it.cost > r.dist[t] {
+			continue
+		}
+		if t == target {
+			found = true
+			break
+		}
+		x, y := int(t)%r.w, int(t)/r.w
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < x0 || nx > x1 || ny < y0 || ny > y1 {
+				continue
+			}
+			nt := int32(ny*r.w + nx)
+			c := it.cost + r.nodeCost(nt)
+			if r.visited[nt] != r.epoch || c < r.dist[nt] {
+				r.visited[nt] = r.epoch
+				r.dist[nt] = c
+				r.prev[nt] = t
+				heap.Push(&q, pqItem{c, nt})
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("target unreachable in region (%d,%d)-(%d,%d)", x0, y0, x1, y1)
+	}
+	// Commit the path; distances from the driver accumulate along it.
+	var path []int32
+	for t := target; t != -1; t = r.prev[t] {
+		if _, onTree := tree[t]; onTree {
+			path = append(path, t)
+			break
+		}
+		path = append(path, t)
+	}
+	// path runs target .. joinpoint; the join point is on the tree.
+	join := path[len(path)-1]
+	base := tree[join]
+	for i := len(path) - 2; i >= 0; i-- {
+		t := path[i]
+		base++
+		tree[t] = base
+		r.occ[t]++
+	}
+	return nil
+}
+
+// updateCongestion accumulates history cost and returns the number of
+// overused tiles.
+func (r *router) updateCongestion() int {
+	over := 0
+	for t := range r.occ {
+		if int(r.occ[t]) > r.cap() {
+			over++
+			r.hist[t] += r.opt.HistFac * float64(int(r.occ[t])-r.cap())
+		}
+	}
+	return over
+}
+
+// tileUsage exports the per-tile net counts.
+func (r *router) tileUsage() map[arch.Loc]int {
+	use := make(map[arch.Loc]int)
+	for t := range r.occ {
+		if r.occ[t] > 0 {
+			use[r.loc(int32(t))] = int(r.occ[t])
+		}
+	}
+	return use
+}
+
+// totalWire sums tree sizes (edges = nodes - 1).
+func (r *router) totalWire() int {
+	total := 0
+	for _, tree := range r.trees {
+		if len(tree) > 1 {
+			total += len(tree) - 1
+		}
+	}
+	return total
+}
+
+// critPath runs STA with routed wire lengths substituted for Manhattan
+// distances. In the infinite-resource regime every connection can take
+// a dedicated shortest route, so its delay is the Manhattan distance —
+// this is exactly why Marquardt et al. call W∞ "a good placement
+// evaluation metric" (wirelength still reports the shared Steiner
+// trees, which is what unlimited routing would fan out from one pin).
+func (r *router) critPath() (float64, error) {
+	if r.infinite() {
+		a, err := timing.Analyze(r.nl, r.pl, r.dm)
+		if err != nil {
+			return 0, err
+		}
+		return a.Period, nil
+	}
+	wireOf := func(u, v netlist.CellID) float64 {
+		// Locate the connection: u drives some net read by v. Routed
+		// lengths are recorded per (net, sink pin); take the shortest
+		// pin if v reads the net on several pins.
+		uc := r.nl.Cell(u)
+		best := math.Inf(1)
+		if uc.Out != netlist.None {
+			for _, p := range r.nl.Net(uc.Out).Sinks {
+				if p.Cell != v {
+					continue
+				}
+				if l, ok := r.connLen[Conn{uc.Out, p}]; ok && float64(l) < best {
+					best = float64(l)
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			// Unrouted (shouldn't happen); fall back to Manhattan.
+			best = float64(arch.Dist(r.pl.Loc(u), r.pl.Loc(v)))
+		}
+		return r.dm.WireDelay(int(best))
+	}
+	a, err := timing.AnalyzeCustom(r.nl, wireOf, r.dm)
+	if err != nil {
+		return 0, err
+	}
+	return a.Period, nil
+}
+
+// MinChannelWidth binary-searches the smallest channel width that
+// routes feasibly.
+func MinChannelWidth(nl *netlist.Netlist, pl timing.Locator, f *arch.FPGA, dm arch.DelayModel, opt Options) (int, error) {
+	lo, hi := 1, 2
+	// Exponential probe for an upper bound.
+	for {
+		opt.ChannelWidth = hi
+		res, err := Route(nl, pl, f, dm, opt)
+		if err != nil {
+			return 0, err
+		}
+		if res.Feasible {
+			break
+		}
+		lo = hi + 1
+		hi *= 2
+		if hi > 4096 {
+			return 0, fmt.Errorf("route: no feasible width up to %d", hi)
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		opt.ChannelWidth = mid
+		res, err := Route(nl, pl, f, dm, opt)
+		if err != nil {
+			return 0, err
+		}
+		if res.Feasible {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// LowStress routes with 20% more tracks than the minimum, the paper's
+// W_ls regime. It returns the result and the width used.
+func LowStress(nl *netlist.Netlist, pl timing.Locator, f *arch.FPGA, dm arch.DelayModel, opt Options) (*Result, int, error) {
+	wmin, err := MinChannelWidth(nl, pl, f, dm, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	w := wmin + (wmin+4)/5 // ceil(1.2 × wmin)
+	opt.ChannelWidth = w
+	res, err := Route(nl, pl, f, dm, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, w, nil
+}
+
+// Infinite routes with unbounded resources, the W∞ regime.
+func Infinite(nl *netlist.Netlist, pl timing.Locator, f *arch.FPGA, dm arch.DelayModel, opt Options) (*Result, error) {
+	opt.ChannelWidth = 0
+	opt.MaxIters = 1
+	return Route(nl, pl, f, dm, opt)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

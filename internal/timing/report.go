@@ -1,0 +1,180 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+)
+
+// MonotonicityStats summarizes how "straight" a placement's timing
+// paths are — the quantity replication exists to improve. The paper
+// uses it both to motivate the approach (typical placements have
+// highly nonmonotone critical paths) and to report end states
+// ("for circuits misex3, diffeq, dsip, des, bigkey and s38584.1 we
+// have reached a theoretical lower bound, i.e., all FF to FF paths
+// are monotone").
+type MonotonicityStats struct {
+	// Paths is the number of sink-terminated worst paths examined
+	// (one per timing sink).
+	Paths int
+	// Monotone counts paths whose total wire equals the source-sink
+	// distance.
+	Monotone int
+	// LocallyMonotone counts paths monotone in every 3-cell window
+	// (the weaker property local replication targets).
+	LocallyMonotone int
+	// WorstDetour is the largest (path wire − direct distance) over
+	// all examined paths, in grid units.
+	WorstDetour int
+	// CriticalMonotone reports whether the critical path itself is
+	// monotone — when true and the path is at its wire lower bound,
+	// the clock period cannot improve without moving endpoints.
+	CriticalMonotone bool
+}
+
+// Monotonicity examines, for every timing sink, the worst arrival path
+// feeding it.
+func Monotonicity(nl *netlist.Netlist, pl Locator, dm arch.DelayModel, a *Analysis) MonotonicityStats {
+	var st MonotonicityStats
+	nl.Cells(func(c *netlist.Cell) {
+		if !c.IsSink() || math.IsInf(a.SinkArr[c.ID], -1) {
+			return
+		}
+		path := worstPathTo(nl, pl, dm, a, c.ID)
+		if len(path) < 2 {
+			return
+		}
+		st.Paths++
+		mono := PathMonotone(pl, path)
+		if mono {
+			st.Monotone++
+		}
+		if LocallyMonotone(pl, path) {
+			st.LocallyMonotone++
+		}
+		if d := pathDetour(pl, path); d > st.WorstDetour {
+			st.WorstDetour = d
+		}
+		if c.ID == a.CritSink {
+			st.CriticalMonotone = mono
+		}
+	})
+	return st
+}
+
+// pathDetour is total path wire minus the direct source-sink distance.
+func pathDetour(pl Locator, path []netlist.CellID) int {
+	total := 0
+	for i := 1; i < len(path); i++ {
+		total += arch.Dist(pl.Loc(path[i-1]), pl.Loc(path[i]))
+	}
+	return total - arch.Dist(pl.Loc(path[0]), pl.Loc(path[len(path)-1]))
+}
+
+// worstPathTo retraces the worst arrival path ending at the given
+// sink, in signal-flow order.
+func worstPathTo(nl *netlist.Netlist, pl Locator, dm arch.DelayModel, a *Analysis, sink netlist.CellID) []netlist.CellID {
+	var rev []netlist.CellID
+	cur := sink
+	rev = append(rev, cur)
+	for {
+		c := nl.Cell(cur)
+		bestU := netlist.CellID(netlist.None)
+		bestT := math.Inf(-1)
+		for _, net := range c.Fanin {
+			if net == netlist.None {
+				continue
+			}
+			u := nl.Net(net).Driver
+			t := a.Arr[u] + dm.WireDelay(arch.Dist(pl.Loc(u), pl.Loc(cur)))
+			if t > bestT {
+				bestT = t
+				bestU = u
+			}
+		}
+		if bestU == netlist.None {
+			break
+		}
+		rev = append(rev, bestU)
+		if nl.Cell(bestU).IsSource() {
+			break
+		}
+		cur = bestU
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathReport is one entry of a timing report.
+type PathReport struct {
+	Sink    netlist.CellID
+	Arrival float64
+	// Slack relative to the clock period.
+	Slack float64
+	// Cells in signal-flow order.
+	Cells []netlist.CellID
+	// Monotone reports the straightness of the placed path.
+	Monotone bool
+}
+
+// TopPaths returns the k worst sink paths, slowest first — the
+// "timing report" a downstream user reads after optimization.
+func TopPaths(nl *netlist.Netlist, pl Locator, dm arch.DelayModel, a *Analysis, k int) []PathReport {
+	type sinkArr struct {
+		id  netlist.CellID
+		arr float64
+	}
+	var sinks []sinkArr
+	nl.Cells(func(c *netlist.Cell) {
+		if c.IsSink() && !math.IsInf(a.SinkArr[c.ID], -1) {
+			sinks = append(sinks, sinkArr{c.ID, a.SinkArr[c.ID]})
+		}
+	})
+	sort.Slice(sinks, func(i, j int) bool {
+		if sinks[i].arr != sinks[j].arr {
+			return sinks[i].arr > sinks[j].arr
+		}
+		return sinks[i].id < sinks[j].id
+	})
+	if k > len(sinks) {
+		k = len(sinks)
+	}
+	out := make([]PathReport, 0, k)
+	for _, s := range sinks[:k] {
+		path := worstPathTo(nl, pl, dm, a, s.id)
+		out = append(out, PathReport{
+			Sink:     s.id,
+			Arrival:  s.arr,
+			Slack:    a.Period - s.arr,
+			Cells:    path,
+			Monotone: PathMonotone(pl, path),
+		})
+	}
+	return out
+}
+
+// FormatReport renders a human-readable timing report.
+func FormatReport(nl *netlist.Netlist, pl Locator, reports []PathReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %10s %8s %5s  path\n", "#", "arrival", "slack", "mono")
+	for i, r := range reports {
+		names := make([]string, len(r.Cells))
+		for j, id := range r.Cells {
+			l := pl.Loc(id)
+			names[j] = fmt.Sprintf("%s(%d,%d)", nl.Cell(id).Name, l.X, l.Y)
+		}
+		mono := "no"
+		if r.Monotone {
+			mono = "yes"
+		}
+		fmt.Fprintf(&b, "%4d %10.2f %8.2f %5s  %s\n",
+			i+1, r.Arrival, r.Slack, mono, strings.Join(names, " -> "))
+	}
+	return b.String()
+}

@@ -1,0 +1,323 @@
+// Package timing performs static timing analysis (STA) over a placed
+// netlist under the linear placement-level delay model of Section II-B,
+// and derives the structures the replication engine consumes: the
+// critical path, the slowest-paths tree (SPT), its ε-restriction
+// (ε-SPT, Section III), path-monotonicity statistics, and lower bounds
+// on the achievable clock period.
+//
+// Conventions: Arr[c] is the signal arrival time at the *output* of
+// cell c. Timing sources (input pads and registered LUTs) have
+// Arr = 0. A connection (u, v) contributes delay
+// WireDelay(dist(u,v)) + intrinsic(v). Paths end at timing sinks
+// (output pads and the inputs of registered LUTs); SinkArr[c] is the
+// path arrival there, including the sink's intrinsic delay. The clock
+// period is the maximum SinkArr.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+)
+
+// Analysis is the result of one STA pass.
+type Analysis struct {
+	// Arr is the arrival time at each cell's output (0 for sources).
+	Arr []float64
+	// SinkArr is the path arrival time at each timing sink (math.Inf(-1)
+	// for non-sinks).
+	SinkArr []float64
+	// Through is the delay of the slowest source-to-sink path passing
+	// through each cell.
+	Through []float64
+	// Down is the worst-case delay from each cell's output to any path
+	// end (math.Inf(-1) if the cell reaches no sink combinationally).
+	Down []float64
+	// Period is the clock period: the maximum SinkArr.
+	Period float64
+	// CritSink is the sink realizing Period.
+	CritSink netlist.CellID
+	// Order is the combinational topological order used.
+	Order []netlist.CellID
+}
+
+// Intrinsic returns the intrinsic delay the model assigns to cell c.
+func Intrinsic(dm arch.DelayModel, c *netlist.Cell) float64 {
+	switch c.Kind {
+	case netlist.LUT:
+		return dm.LUTDelay
+	default:
+		return dm.IODelay
+	}
+}
+
+// EdgeDelay returns the delay of connection (u, v) under placement pl:
+// wire delay over the Manhattan distance plus v's intrinsic delay.
+func EdgeDelay(nl *netlist.Netlist, pl Locator, dm arch.DelayModel, u, v netlist.CellID) float64 {
+	return dm.WireDelay(arch.Dist(pl.Loc(u), pl.Loc(v))) + Intrinsic(dm, nl.Cell(v))
+}
+
+// Locator provides cell locations. It is the subset of
+// placement.Placement the analyzer needs; the interface keeps this
+// package decoupled and lets tests supply synthetic placements.
+type Locator interface {
+	Loc(netlist.CellID) arch.Loc
+}
+
+// WireDelayFunc gives the wire delay of the connection from cell u to
+// cell v. Placement-level analysis uses Manhattan distance; post-route
+// analysis substitutes actual routed path lengths.
+type WireDelayFunc func(u, v netlist.CellID) float64
+
+// ManhattanWire is the placement-level wire delay function.
+func ManhattanWire(pl Locator, dm arch.DelayModel) WireDelayFunc {
+	return func(u, v netlist.CellID) float64 {
+		return dm.WireDelay(arch.Dist(pl.Loc(u), pl.Loc(v)))
+	}
+}
+
+// Analyze runs a full STA pass using Manhattan wire delays.
+func Analyze(nl *netlist.Netlist, pl Locator, dm arch.DelayModel) (*Analysis, error) {
+	return AnalyzeCustom(nl, ManhattanWire(pl, dm), dm)
+}
+
+// AnalyzeCustom runs a full STA pass with an arbitrary per-connection
+// wire delay function.
+func AnalyzeCustom(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel) (*Analysis, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Arr:     make([]float64, nl.Cap()),
+		SinkArr: make([]float64, nl.Cap()),
+		Through: make([]float64, nl.Cap()),
+		Down:    make([]float64, nl.Cap()),
+		Order:   order,
+		Period:  math.Inf(-1),
+	}
+	for i := range a.SinkArr {
+		a.SinkArr[i] = math.Inf(-1)
+	}
+
+	// Forward pass: arrival times in topological order.
+	for _, id := range order {
+		c := nl.Cell(id)
+		if c.IsSource() {
+			a.Arr[id] = 0
+		}
+		// Compute the worst input arrival (needed both for sink
+		// arrival and, for plain LUTs, for output arrival).
+		worstIn := math.Inf(-1)
+		haveIn := false
+		for _, net := range c.Fanin {
+			if net == netlist.None {
+				continue
+			}
+			u := nl.Net(net).Driver
+			t := a.Arr[u] + wireOf(u, id)
+			if t > worstIn {
+				worstIn = t
+			}
+			haveIn = true
+		}
+		if c.IsSink() && haveIn {
+			a.SinkArr[id] = worstIn + Intrinsic(dm, c)
+			if a.SinkArr[id] > a.Period {
+				a.Period = a.SinkArr[id]
+				a.CritSink = id
+			}
+		}
+		if c.Kind == netlist.LUT && !c.Registered {
+			if haveIn {
+				a.Arr[id] = worstIn + dm.LUTDelay
+			} else {
+				a.Arr[id] = 0 // floating LUT: treat as constant source
+			}
+		}
+	}
+	if math.IsInf(a.Period, -1) {
+		return nil, fmt.Errorf("timing: netlist %s has no timing sinks", nl.Name)
+	}
+
+	// Backward pass: Through[u] = the slowest source-to-sink path
+	// delay over all paths touching u. A registered LUT lies on two
+	// kinds of paths — those ending at its input (SinkArr) and those
+	// starting at its output (Arr + downstream) — so Through takes the
+	// maximum of both.
+	down := a.Down
+	for i := range down {
+		down[i] = math.Inf(-1)
+	}
+	for i := range a.Through {
+		a.Through[i] = math.Inf(-1)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		c := nl.Cell(id)
+		if c.IsSink() && !math.IsInf(a.SinkArr[id], -1) {
+			a.Through[id] = a.SinkArr[id]
+		}
+		if c.Out == netlist.None {
+			continue
+		}
+		for _, p := range nl.Net(c.Out).Sinks {
+			v := p.Cell
+			vc := nl.Cell(v)
+			wire := wireOf(id, v)
+			var tail float64
+			if vc.IsSink() {
+				tail = wire + Intrinsic(dm, vc)
+			} else if !math.IsInf(down[v], -1) {
+				tail = wire + dm.LUTDelay + down[v]
+			} else {
+				continue // v reaches no sink
+			}
+			if tail > down[id] {
+				down[id] = tail
+			}
+		}
+		if !math.IsInf(down[id], -1) {
+			if t := a.Arr[id] + down[id]; t > a.Through[id] {
+				a.Through[id] = t
+			}
+		}
+	}
+	return a, nil
+}
+
+// Slack returns Period minus the slowest path through cell id; cells on
+// the critical path have zero slack.
+func (a *Analysis) Slack(id netlist.CellID) float64 { return a.Period - a.Through[id] }
+
+// CriticalPath returns the cells of the slowest path in signal-flow
+// order, from a timing source to the critical sink.
+func (a *Analysis) CriticalPath(nl *netlist.Netlist, pl Locator, dm arch.DelayModel) []netlist.CellID {
+	var rev []netlist.CellID
+	cur := a.CritSink
+	rev = append(rev, cur)
+	// Walk backward, at each step picking the fanin whose arrival plus
+	// wire delay realizes the node's input arrival.
+	for {
+		c := nl.Cell(cur)
+		bestU := netlist.CellID(netlist.None)
+		bestT := math.Inf(-1)
+		for _, net := range c.Fanin {
+			if net == netlist.None {
+				continue
+			}
+			u := nl.Net(net).Driver
+			t := a.Arr[u] + dm.WireDelay(arch.Dist(pl.Loc(u), pl.Loc(cur)))
+			if t > bestT {
+				bestT = t
+				bestU = u
+			}
+		}
+		if bestU == netlist.None {
+			break
+		}
+		rev = append(rev, bestU)
+		if nl.Cell(bestU).IsSource() {
+			break
+		}
+		cur = bestU
+	}
+	// Reverse into signal-flow order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathMonotone reports whether the placed path visits cells in
+// non-detouring order: the total wire length equals the source-to-sink
+// distance.
+func PathMonotone(pl Locator, path []netlist.CellID) bool {
+	if len(path) < 2 {
+		return true
+	}
+	total := 0
+	for i := 1; i < len(path); i++ {
+		total += arch.Dist(pl.Loc(path[i-1]), pl.Loc(path[i]))
+	}
+	return total == arch.Dist(pl.Loc(path[0]), pl.Loc(path[len(path)-1]))
+}
+
+// LocallyMonotone reports whether every length-3 window of the path is
+// monotone — the weaker property exploited by the local replication
+// baseline and shown insufficient in Fig. 3 of the paper.
+func LocallyMonotone(pl Locator, path []netlist.CellID) bool {
+	for i := 2; i < len(path); i++ {
+		a, b, c := pl.Loc(path[i-2]), pl.Loc(path[i-1]), pl.Loc(path[i])
+		if arch.Dist(a, c) < arch.Dist(a, b)+arch.Dist(b, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// LowerBound computes a lower bound on the achievable arrival time at
+// the given sink assuming only the sink and the timing sources stay
+// fixed: for every source s in the sink's fanin cone, any s-to-sink
+// path must cover at least the source-sink Manhattan distance in wire
+// and pass through at least the minimum logic depth in LUTs
+// (Section II-C: "limited by distance between PIs and POs and number of
+// logic blocks in between").
+func LowerBound(nl *netlist.Netlist, pl Locator, dm arch.DelayModel, sink netlist.CellID) float64 {
+	depth := minLogicDepth(nl, sink)
+	sc := nl.Cell(sink)
+	bound := 0.0
+	for u, d := range depth {
+		uc := nl.Cell(u)
+		if !uc.IsSource() && uc.Kind != netlist.IPad {
+			continue
+		}
+		lb := dm.WireDelay(arch.Dist(pl.Loc(u), pl.Loc(sink))) +
+			float64(d)*dm.LUTDelay + Intrinsic(dm, sc)
+		if lb > bound {
+			bound = lb
+		}
+	}
+	return bound
+}
+
+// minLogicDepth returns, for each cell in the sink's fanin cone, the
+// minimum number of (non-registered) LUTs on any path from that cell's
+// output to the sink's input.
+func minLogicDepth(nl *netlist.Netlist, sink netlist.CellID) map[netlist.CellID]int {
+	depth := map[netlist.CellID]int{sink: 0}
+	// BFS over reversed edges; because all LUT weights are equal we
+	// can process in waves of equal depth (0-1 BFS is unnecessary: the
+	// only zero-weight hop is the final edge into the sink, folded in
+	// below).
+	queue := []netlist.CellID{sink}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		vc := nl.Cell(v)
+		if vc.IsSource() && v != sink {
+			continue
+		}
+		// Cost of passing through v on the way to the sink: v itself
+		// is a LUT stage unless v is the sink (whose intrinsic is
+		// accounted separately).
+		stage := 0
+		if v != sink && vc.Kind == netlist.LUT {
+			stage = 1
+		}
+		for _, net := range vc.Fanin {
+			if net == netlist.None {
+				continue
+			}
+			u := nl.Net(net).Driver
+			d := depth[v] + stage
+			if old, seen := depth[u]; !seen || d < old {
+				depth[u] = d
+				queue = append(queue, u)
+			}
+		}
+	}
+	return depth
+}
