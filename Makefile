@@ -1,0 +1,31 @@
+GO ?= go
+
+# Benchmarks included in `make bench` (full pipeline benches are
+# cmd/experiments territory and too slow for a default target).
+BENCH ?= ^(BenchmarkEmbed|BenchmarkSTA)
+BENCHTIME ?= 1s
+
+.PHONY: build test race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race suite: -short keeps the randomized sweeps small so the whole
+# thing stays well under two minutes.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Runs the embedder/STA micro-benchmarks and records machine-readable
+# results in BENCH_embed.json (text copy in BENCH_embed.txt).
+bench: build
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem . | tee BENCH_embed.txt
+	$(GO) run ./cmd/benchjson < BENCH_embed.txt > BENCH_embed.json
+
+clean:
+	rm -f BENCH_embed.txt BENCH_embed.json

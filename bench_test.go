@@ -13,6 +13,7 @@ package repro_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/arch"
@@ -217,6 +218,31 @@ func BenchmarkEmbedElmore(b *testing.B) {
 	}
 }
 
+// The Parallel variants run the same instances with the worker pool at
+// GOMAXPROCS; the serial benchmarks above (Parallelism unset) remain
+// comparable across commits. Results are bit-identical either way —
+// see determinism_test.go — so these measure scheduling overhead vs
+// fan-out gain at the current core count.
+
+func benchEmbedParallel(b *testing.B, mode embed.Mode) {
+	p := embedProblem(24, mode)
+	p.Parallelism = runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmbed2DParallel(b *testing.B) {
+	benchEmbedParallel(b, embed.Mode{LexDepth: 1})
+}
+
+func BenchmarkEmbedLex3Parallel(b *testing.B) {
+	benchEmbedParallel(b, embed.Mode{LexDepth: 3})
+}
+
 func benchNetlist(b *testing.B, luts int) *netlist.Netlist {
 	b.Helper()
 	spec, _ := circuits.ByName("apex2")
@@ -230,7 +256,7 @@ func benchNetlist(b *testing.B, luts int) *netlist.Netlist {
 	return nl
 }
 
-func BenchmarkSTA(b *testing.B) {
+func benchSTA(b *testing.B, workers int) {
 	nl := benchNetlist(b, 2000)
 	f := arch.MinSquare(nl.NumLUTs(), nl.NumIOs())
 	opts := place.Defaults()
@@ -243,11 +269,17 @@ func BenchmarkSTA(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := timing.Analyze(nl, pl, dm); err != nil {
+		if _, err := timing.AnalyzeWorkers(nl, pl, dm, workers); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkSTA pins the serial pass (workers=1) so ns/op stays
+// comparable across machines; the Parallel variant fans arrival
+// propagation out per level at GOMAXPROCS.
+func BenchmarkSTA(b *testing.B)         { benchSTA(b, 1) }
+func BenchmarkSTAParallel(b *testing.B) { benchSTA(b, runtime.GOMAXPROCS(0)) }
 
 func BenchmarkPlaceAnneal(b *testing.B) {
 	nl := benchNetlist(b, 400)

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/arch"
 	"repro/internal/embed"
@@ -80,6 +81,10 @@ type Config struct {
 	// WireCongestionWeight scales that bias (cost per net of
 	// occupancy, in wire-cost units).
 	WireCongestionWeight float64
+	// Parallelism bounds worker goroutines in the embedder's join
+	// phase and the levelized STA. 1 forces the exact serial path;
+	// results are bit-identical at any setting.
+	Parallelism int
 }
 
 // Default returns the configuration used in the paper's experiments.
@@ -103,6 +108,7 @@ func Default() Config {
 		LexCostSlackFrac:     0.25,
 		LexCostSlackAbs:      3.0,
 		WireCongestionWeight: 0.1,
+		Parallelism:          runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -163,7 +169,7 @@ func New(nl *netlist.Netlist, pl *placement.Placement, dm arch.DelayModel, cfg C
 // and placement at the best solution encountered.
 func (e *Engine) Run() (*Stats, error) {
 	st := &Stats{}
-	a, err := timing.Analyze(e.Netlist, e.Placement, e.Delay)
+	a, err := e.analyze()
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +192,7 @@ func (e *Engine) Run() (*Stats, error) {
 			st.StoppedEarly = true
 			break
 		}
-		a, err = timing.Analyze(e.Netlist, e.Placement, e.Delay)
+		a, err = e.analyze()
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +203,7 @@ func (e *Engine) Run() (*Stats, error) {
 			// state. ε still grows on the non-improvement, so the
 			// next attempt differs.
 			e.Netlist, e.Placement = preNL, prePL
-			a, err = timing.Analyze(e.Netlist, e.Placement, e.Delay)
+			a, err = e.analyze()
 			if err != nil {
 				return nil, err
 			}
@@ -233,7 +239,7 @@ func (e *Engine) Run() (*Stats, error) {
 			// state.
 			if a.Period > e.bestPeriod*(1+e.Config.MaxDrift) {
 				e.restoreBest()
-				a, err = timing.Analyze(e.Netlist, e.Placement, e.Delay)
+				a, err = e.analyze()
 				if err != nil {
 					return nil, err
 				}
@@ -241,12 +247,18 @@ func (e *Engine) Run() (*Stats, error) {
 		}
 	}
 	e.restoreBest()
-	final, err := timing.Analyze(e.Netlist, e.Placement, e.Delay)
+	final, err := e.analyze()
 	if err != nil {
 		return nil, err
 	}
 	st.FinalPeriod = final.Period
 	return st, nil
+}
+
+// analyze runs STA over the engine's current state with the
+// configured worker count.
+func (e *Engine) analyze() (*timing.Analysis, error) {
+	return timing.AnalyzeWorkers(e.Netlist, e.Placement, e.Delay, e.Config.Parallelism)
 }
 
 // snapshot saves the current netlist and placement as the best seen.
@@ -316,6 +328,7 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 		PlaceCost:    e.placeCostFunc(g, ep),
 		MaxPerVertex: e.Config.MaxPerVertex,
 		DelayQuantum: e.Config.DelayQuantumFrac * a.Period,
+		Parallelism:  e.Config.Parallelism,
 	}
 	res, err := prob.Solve()
 	if err != nil {
@@ -356,7 +369,7 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 	}
 	reps := e.apply(rt, ep, g, emb, sel, st)
 	if coreDebug {
-		ax, _ := timing.Analyze(e.Netlist, e.Placement, e.Delay)
+		ax, _ := e.analyze()
 		fmt.Printf("DBG after apply: period %.1f sinkArr %.1f\n", ax.Period, ax.SinkArr[sink])
 	}
 	if rootFree {
@@ -364,25 +377,25 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 	}
 
 	// Post-process unification needs fresh arrival times (Section V-C).
-	a2, err := timing.Analyze(e.Netlist, e.Placement, e.Delay)
+	a2, err := e.analyze()
 	if err != nil {
 		return false, err
 	}
 	e.postUnify(a2, reps, st)
 	if coreDebug {
-		ax, _ := timing.Analyze(e.Netlist, e.Placement, e.Delay)
+		ax, _ := e.analyze()
 		fmt.Printf("DBG after unify: period %.1f sinkArr %.1f\n", ax.Period, ax.SinkArr[sink])
 	}
 
 	// Timing-driven legalization resolves the overlaps the embedder
 	// was allowed to create.
-	a3, err := timing.Analyze(e.Netlist, e.Placement, e.Delay)
+	a3, err := e.analyze()
 	if err != nil {
 		return false, err
 	}
 	lst, lerr := e.leg.Run(e.Netlist, e.Placement, e.Delay, a3)
 	if coreDebug {
-		ax, _ := timing.Analyze(e.Netlist, e.Placement, e.Delay)
+		ax, _ := e.analyze()
 		fmt.Printf("DBG after legal: period %.1f sinkArr %.1f moves %d unif %d\n", ax.Period, ax.SinkArr[sink], lst.Moves, lst.Unified)
 	}
 	st.Unified += lst.Unified

@@ -45,6 +45,11 @@ type Edge struct {
 type Graph struct {
 	adj     [][]Edge
 	blocked []bool
+	// cost indexes directed edge costs for O(1) lookup (route
+	// reconstruction walks edges by endpoint pair; scanning Adj per
+	// hop is wasted work on wide windows). Parallel edges keep the
+	// first inserted cost, matching the Adj scan order.
+	cost map[uint64]float64
 
 	// Grid metadata (zero for non-grid graphs): the graph covers FPGA
 	// locations [x0, x0+w) x [y0, y0+h).
@@ -53,7 +58,12 @@ type Graph struct {
 
 // NewGraph returns an empty graph with n vertices and no edges.
 func NewGraph(n int) *Graph {
-	return &Graph{adj: make([][]Edge, n), blocked: make([]bool, n)}
+	return &Graph{adj: make([][]Edge, n), blocked: make([]bool, n), cost: make(map[uint64]float64, 4*n)}
+}
+
+// edgeKey packs a directed edge into a cost-index key.
+func edgeKey(from, to Vertex) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
 }
 
 // NumVertices returns the vertex count.
@@ -66,6 +76,19 @@ func (g *Graph) AddEdge(from, to Vertex, cost, delay float64) {
 		panic(fmt.Sprintf("embed: edge cost must be positive, got %v", cost))
 	}
 	g.adj[from] = append(g.adj[from], Edge{To: to, Cost: cost, Delay: delay})
+	if g.cost == nil {
+		g.cost = make(map[uint64]float64)
+	}
+	if k := edgeKey(from, to); g.cost[k] == 0 {
+		g.cost[k] = cost // edge costs are positive, so 0 means absent
+	}
+}
+
+// EdgeCost returns the wire cost of the directed edge (from, to) in
+// O(1), or false when the graph has no such edge.
+func (g *Graph) EdgeCost(from, to Vertex) (float64, bool) {
+	c, ok := g.cost[edgeKey(from, to)]
+	return c, ok
 }
 
 // AddBiEdge inserts edges in both directions.

@@ -1,0 +1,67 @@
+package embed
+
+// waveHeap is a typed binary min-heap over queueItems ordered by
+// heapLess. Unlike container/heap it never boxes items through
+// interface values, so the wavefront's push/pop churn stays off the
+// garbage collector; the backing slice lives in the solver scratch and
+// is reused across Solve calls.
+type waveHeap struct {
+	mode  Mode
+	items []queueItem
+}
+
+// init establishes the heap invariant over the seed items in place
+// (bottom-up heapify, O(n)).
+func (h *waveHeap) init() {
+	n := len(h.items)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i, n)
+	}
+}
+
+func (h *waveHeap) push(it queueItem) {
+	h.items = append(h.items, it)
+	h.siftUp(len(h.items) - 1)
+}
+
+func (h *waveHeap) pop() queueItem {
+	n := len(h.items) - 1
+	h.items[0], h.items[n] = h.items[n], h.items[0]
+	h.siftDown(0, n)
+	it := h.items[n]
+	h.items = h.items[:n]
+	return it
+}
+
+func (h *waveHeap) less(i, j int) bool {
+	return heapLess(h.mode, &h.items[i].sol.sig, &h.items[j].sol.sig)
+}
+
+func (h *waveHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *waveHeap) siftDown(i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+}

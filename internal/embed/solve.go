@@ -1,10 +1,11 @@
 package embed
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Problem is one fanin-tree embedding instance.
@@ -14,11 +15,13 @@ type Problem struct {
 	Mode Mode
 	// PlaceCost returns p_ij, the cost of placing internal tree node i
 	// at vertex j (Section II-A). nil means zero everywhere. Return
-	// +Inf to forbid a location for one node.
+	// +Inf to forbid a location for one node. Must be safe for
+	// concurrent calls when Parallelism > 1.
 	PlaceCost func(node NodeID, v Vertex) float64
 	// Capacity returns the remaining capacity of the slot at v for the
 	// overlap-control scheme; nil means capacity 1 everywhere. Only
-	// consulted when Mode.OverlapControl is set.
+	// consulted when Mode.OverlapControl is set. Must be safe for
+	// concurrent calls when Parallelism > 1.
 	Capacity func(v Vertex) int
 	// MaxPerVertex caps the solution list kept per (node, vertex);
 	// 0 keeps every non-dominated solution (exact). When the cap is
@@ -27,6 +30,19 @@ type Problem struct {
 	// approximation for very large instances.
 	MaxPerVertex int
 	DelayQuantum float64
+	// Parallelism is the worker count for the join fan-out and for
+	// processing independent subtrees concurrently. 0 or 1 runs the
+	// exact serial path; any value produces bit-identical results
+	// (joins are sharded over vertex ranges and merged back in vertex
+	// order, and sibling subtrees are data-independent).
+	Parallelism int
+}
+
+func (p *Problem) workers() int {
+	if p.Parallelism <= 1 {
+		return 1
+	}
+	return p.Parallelism
 }
 
 type solKind uint8
@@ -76,8 +92,27 @@ type FrontierSol struct {
 	idx    int32
 }
 
+// solverScratch bundles the reusable per-solve buffers: the wavefront
+// heap backing, the double-buffered join fold (combo lists plus the
+// flat child-index arenas behind them), and the prune staircase. It is
+// pooled so repeated Solve calls inside the engine loop stop churning
+// the garbage collector.
+type solverScratch struct {
+	items  []queueItem
+	combos [2][]combo
+	arena  [2][]int32
+	stair  []stairStep
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(solverScratch) }}
+
+func getScratch() *solverScratch  { return scratchPool.Get().(*solverScratch) }
+func putScratch(sc *solverScratch) { scratchPool.Put(sc) }
+
 // Solve runs the embedding DP of Fig. 6 and returns the root tradeoff
-// curve sorted by increasing cost.
+// curve sorted by increasing cost. With Parallelism > 1 independent
+// subtrees and join fan-outs run on a worker pool; the result is
+// bit-identical to the serial path.
 func (p *Problem) Solve() (*Result, error) {
 	if err := p.T.Validate(p.G.NumVertices()); err != nil {
 		return nil, err
@@ -86,36 +121,118 @@ func (p *Problem) Solve() (*Result, error) {
 	for i := range r.sols {
 		r.sols[i].at = make([][]solution, p.G.NumVertices())
 	}
-	order := p.T.PostOrder()
+	workers := p.workers()
+	if workers > 1 {
+		r.runLevels(workers)
+	} else {
+		sc := getScratch()
+		for _, id := range p.T.PostOrder() {
+			if id == p.T.Root {
+				break // handled in finish: the root is not propagated onward
+			}
+			r.processNode(id, 1, sc)
+		}
+		putScratch(sc)
+	}
+	return r.finish(workers)
+}
+
+// processNode computes one non-root node's accepted solution sets:
+// ComputeInitial (line b2) for leaves or JoinTree (line c2) for
+// internal nodes, followed by the wavefront expansion. par > 1 shards
+// the join across vertex ranges.
+func (r *Result) processNode(id NodeID, par int, sc *solverScratch) {
+	n := &r.p.T.Nodes[id]
+	switch {
+	case n.IsLeaf():
+		init := solution{sig: newLeafSig(r.p.Mode, n.Arr, n.Critical), kind: kindLeaf}
+		sc.items = append(sc.items[:0], queueItem{sol: init, vertex: n.Vertex})
+	case par > 1:
+		ns := &r.sols[id]
+		sc.items = r.joinParallel(id, &ns.joinPool, sc.items[:0], par)
+	default:
+		ns := &r.sols[id]
+		sc.items = r.joinSpan(id, 0, r.p.G.NumVertices(), nil, &ns.joinPool, sc.items[:0], sc)
+	}
+	r.runWavefront(id, sc)
+}
+
+// runLevels processes the tree bottom-up in dependency levels: a node
+// is ready once all its children are done, so the nodes of one level
+// are data-independent and run concurrently. Levels with a single node
+// instead parallelize the join fan-out across vertices.
+func (r *Result) runLevels(workers int) {
+	t := r.p.T
+	order := t.PostOrder()
+	depth := make([]int32, len(t.Nodes))
+	maxd := int32(0)
 	for _, id := range order {
-		n := &p.T.Nodes[id]
-		if n.IsLeaf() {
-			// ComputeInitial (line b2) + wavefront expansion.
-			init := solution{sig: newLeafSig(p.Mode, n.Arr, n.Critical), kind: kindLeaf}
-			r.runWavefront(id, []queueItem{{sol: init, vertex: n.Vertex}})
+		d := int32(0)
+		for _, c := range t.Nodes[id].Children {
+			if depth[c]+1 > d {
+				d = depth[c] + 1
+			}
+		}
+		depth[id] = d
+		if id != t.Root && d > maxd {
+			maxd = d
+		}
+	}
+	levels := make([][]NodeID, maxd+1)
+	for _, id := range order {
+		if id == t.Root {
 			continue
 		}
-		if id == p.T.Root {
-			break // handled below: the root is not propagated onward
+		levels[depth[id]] = append(levels[depth[id]], id)
+	}
+	sem := make(chan struct{}, workers)
+	for _, nodes := range levels {
+		if len(nodes) == 1 {
+			sc := getScratch()
+			r.processNode(nodes[0], workers, sc)
+			putScratch(sc)
+			continue
 		}
-		seeds := r.joinAt(id, nil)
-		r.runWavefront(id, seeds)
+		var wg sync.WaitGroup
+		for _, id := range nodes {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(id NodeID) {
+				defer wg.Done()
+				sc := getScratch()
+				r.processNode(id, 1, sc)
+				putScratch(sc)
+				<-sem
+			}(id)
+		}
+		wg.Wait()
 	}
+}
 
-	// Root: join only (A[t][root] = A^b[t][root] — the sink consumes
-	// the signal; no onward propagation). A fixed root joins at its
-	// vertex only; a free root joins everywhere and the frontier spans
-	// all vertices.
+// finish joins at the root (A[t][root] = A^b[t][root] — the sink
+// consumes the signal; no onward propagation) and assembles the global
+// non-dominated frontier. A fixed root joins at its vertex only; a
+// free root joins everywhere and the frontier spans all vertices.
+func (r *Result) finish(workers int) (*Result, error) {
+	p := r.p
 	rootNode := &p.T.Nodes[p.T.Root]
-	var only []Vertex
-	if rootNode.Vertex >= 0 {
-		only = []Vertex{rootNode.Vertex}
-	}
-	seeds := r.joinAt(p.T.Root, only)
 	ns := &r.sols[p.T.Root]
+	sc := getScratch()
+	var seeds []queueItem
+	switch {
+	case rootNode.Vertex >= 0:
+		seeds = r.joinSpan(p.T.Root, 0, 0, []Vertex{rootNode.Vertex}, &ns.joinPool, sc.items[:0], sc)
+	case workers > 1:
+		seeds = r.joinParallel(p.T.Root, &ns.joinPool, sc.items[:0], workers)
+	default:
+		seeds = r.joinSpan(p.T.Root, 0, p.G.NumVertices(), nil, &ns.joinPool, sc.items[:0], sc)
+	}
 	for _, it := range seeds {
 		ns.at[it.vertex] = append(ns.at[it.vertex], it.sol)
 	}
+	sc.items = seeds[:0]
+	putScratch(sc)
+
 	// Collect the global non-dominated frontier.
 	var all []FrontierSol
 	for v := range ns.at {
@@ -163,69 +280,33 @@ func (p *Problem) Solve() (*Result, error) {
 	return r, nil
 }
 
-// joinAt computes the branching solutions A^b[id][j] (JoinTree line c2)
-// for every vertex (or just the listed ones) by folding the children's
-// accepted sets pairwise, then applying placement cost and gate delay.
-func (r *Result) joinAt(id NodeID, only []Vertex) []queueItem {
+// joinSpan computes the branching solutions A^b[id][j] (JoinTree
+// line c2) for the vertices [lo, hi) — or the explicit list, when
+// non-nil — by folding the children's accepted sets pairwise, then
+// applying placement cost and gate delay. Seeds are appended with
+// joinRef relative to *pool, so shards can build private pools that a
+// deterministic merge rebases later.
+func (r *Result) joinSpan(id NodeID, lo, hi int, list []Vertex, pool *[]int32, seeds []queueItem, sc *solverScratch) []queueItem {
 	p := r.p
 	n := &p.T.Nodes[id]
-	ns := &r.sols[id]
-	var seeds []queueItem
-
-	vertices := only
-	if vertices == nil {
-		vertices = make([]Vertex, 0, p.G.NumVertices())
-		for v := 0; v < p.G.NumVertices(); v++ {
-			vertices = append(vertices, Vertex(v))
-		}
-	}
-
-	for _, v := range vertices {
+	k := int32(len(n.Children))
+	join := func(v Vertex) {
 		if p.G.Blocked(v) {
-			continue
+			return
 		}
 		pc := 0.0
 		if p.PlaceCost != nil {
 			pc = p.PlaceCost(id, v)
 		}
 		if math.IsInf(pc, 1) {
-			continue
+			return
 		}
-		// Fold children: cross-product with dominance pruning at each
-		// step (the paper's 2-D join is a linear merge; the pairwise
-		// cross-product with pruning is the general form that also
-		// covers the Lex and load-dependent signatures).
-		var combos []combo
-		feasible := true
-		for ci, c := range n.Children {
-			childSols := r.sols[c].at[v]
-			if len(childSols) == 0 {
-				feasible = false
-				break
-			}
-			if ci == 0 {
-				combos = make([]combo, 0, len(childSols))
-				for i := range childSols {
-					combos = append(combos, combo{sig: childSols[i].sig, idx: []int32{int32(i)}})
-				}
-				continue
-			}
-			next := make([]combo, 0, len(combos))
-			for _, cb := range combos {
-				for i := range childSols {
-					m := merge(p.Mode, &cb.sig, &childSols[i].sig)
-					idx := make([]int32, len(cb.idx)+1)
-					copy(idx, cb.idx)
-					idx[len(cb.idx)] = int32(i)
-					next = append(next, combo{sig: m, idx: idx})
-				}
-			}
-			combos = pruneCombos(p.Mode, next)
-		}
+		combos, arena, feasible := r.foldVertex(id, v, sc)
 		if !feasible {
-			continue
+			return
 		}
-		for _, cb := range combos {
+		for ci := range combos {
+			cb := &combos[ci]
 			sig := finishJoin(p.Mode, cb.sig, pc, n.Intrinsic)
 			if p.Mode.OverlapControl {
 				cap := 1
@@ -236,27 +317,156 @@ func (r *Result) joinAt(id NodeID, only []Vertex) []queueItem {
 					continue // would overfill the slot (Section II-A)
 				}
 			}
-			ref := int32(len(ns.joinPool))
-			ns.joinPool = append(ns.joinPool, cb.idx...)
+			ref := int32(len(*pool))
+			*pool = append(*pool, arena[cb.off:cb.off+k]...)
 			seeds = append(seeds, queueItem{
 				sol:    solution{sig: sig, kind: kindJoin, joinRef: ref},
 				vertex: v,
 			})
 		}
 	}
+	if list != nil {
+		for _, v := range list {
+			join(v)
+		}
+	} else {
+		for v := lo; v < hi; v++ {
+			join(Vertex(v))
+		}
+	}
 	return seeds
 }
 
-// combo is a partial join: a merged signature plus the child solution
-// indices that produced it.
-type combo struct {
-	sig Sig
-	idx []int32
+// joinParallel shards joinSpan over contiguous vertex ranges on a
+// worker pool, then merges the shard outputs back in vertex order, so
+// the seed list and joinPool layout are bit-identical to the serial
+// fold.
+func (r *Result) joinParallel(id NodeID, pool *[]int32, seeds []queueItem, workers int) []queueItem {
+	nv := r.p.G.NumVertices()
+	chunk := (nv + workers*4 - 1) / (workers * 4)
+	if chunk < 16 {
+		chunk = 16
+	}
+	nchunks := (nv + chunk - 1) / chunk
+	if nchunks <= 1 || workers <= 1 {
+		sc := getScratch()
+		seeds = r.joinSpan(id, 0, nv, nil, pool, seeds, sc)
+		putScratch(sc)
+		return seeds
+	}
+	type shard struct {
+		seeds []queueItem
+		pool  []int32
+	}
+	outs := make([]shard, nchunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	nw := workers
+	if nw > nchunks {
+		nw = nchunks
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := getScratch()
+			defer putScratch(sc)
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > nv {
+					hi = nv
+				}
+				var sp []int32
+				outs[ci].seeds = r.joinSpan(id, lo, hi, nil, &sp, nil, sc)
+				outs[ci].pool = sp
+			}
+		}()
+	}
+	wg.Wait()
+	for ci := range outs {
+		base := int32(len(*pool))
+		*pool = append(*pool, outs[ci].pool...)
+		for _, it := range outs[ci].seeds {
+			it.sol.joinRef += base
+			seeds = append(seeds, it)
+		}
+	}
+	return seeds
 }
 
-// pruneCombos removes dominated combinations.
-func pruneCombos(m Mode, in []combo) []combo {
+// foldVertex folds node id's children at vertex v: a pairwise
+// cross-product with dominance pruning at each step (the paper's 2-D
+// join is a linear merge; the pairwise cross-product with pruning is
+// the general form that also covers the Lex and load-dependent
+// signatures). The returned combos and their child-index arena live in
+// sc and are valid until the next foldVertex call on that scratch.
+func (r *Result) foldVertex(id NodeID, v Vertex, sc *solverScratch) ([]combo, []int32, bool) {
+	p := r.p
+	children := p.T.Nodes[id].Children
+	cur := 0
+	sc.combos[0] = sc.combos[0][:0]
+	sc.arena[0] = sc.arena[0][:0]
+	for ci, c := range children {
+		childSols := r.sols[c].at[v]
+		if len(childSols) == 0 {
+			return nil, nil, false
+		}
+		if ci == 0 {
+			for i := range childSols {
+				sc.combos[0] = append(sc.combos[0], combo{sig: childSols[i].sig, off: int32(len(sc.arena[0]))})
+				sc.arena[0] = append(sc.arena[0], int32(i))
+			}
+			continue
+		}
+		nxt := 1 - cur
+		sc.combos[nxt] = sc.combos[nxt][:0]
+		sc.arena[nxt] = sc.arena[nxt][:0]
+		for ti := range sc.combos[cur] {
+			cb := &sc.combos[cur][ti]
+			prefix := sc.arena[cur][cb.off : cb.off+int32(ci)]
+			for i := range childSols {
+				m := merge(p.Mode, &cb.sig, &childSols[i].sig)
+				off := int32(len(sc.arena[nxt]))
+				sc.arena[nxt] = append(sc.arena[nxt], prefix...)
+				sc.arena[nxt] = append(sc.arena[nxt], int32(i))
+				sc.combos[nxt] = append(sc.combos[nxt], combo{sig: m, off: off})
+			}
+		}
+		cur = nxt
+		sc.combos[cur] = pruneCombos(p.Mode, sc.combos[cur], sc)
+	}
+	return sc.combos[cur], sc.arena[cur], true
+}
+
+// combo is a partial join: a merged signature plus the offset of the
+// child solution indices that produced it in the fold arena.
+type combo struct {
+	sig Sig
+	off int32
+}
+
+// stairStep is one step of the 2-D prune staircase: among kept combos
+// with arrival <= d0, the minimum peak is peak.
+type stairStep struct {
+	d0   float64
+	peak int32
+}
+
+// pruneCombos removes dominated combinations. For the common plain 2-D
+// signature (LexDepth 1, linear delay, no MC/overlap control) the
+// post-sort scan is a single linear sweep over a monotone staircase;
+// the general quadratic scan covers Lex-N, Lex-mc and load-dependent
+// modes.
+func pruneCombos(m Mode, in []combo, sc *solverScratch) []combo {
 	sort.Slice(in, func(i, j int) bool { return heapLess(m, &in[i].sig, &in[j].sig) })
+	if m.lexDepth() == 1 && !m.MC && !m.loadDependent() && !m.OverlapControl {
+		return pruneCombos2D(in, sc)
+	}
 	out := in[:0]
 	for i := range in {
 		dominated := false
@@ -273,43 +483,63 @@ func pruneCombos(m Mode, in []combo) []combo {
 	return out
 }
 
+// pruneCombos2D prunes cost-sorted combos under the plain 2-D
+// dominance test (cost, arrival, peak — cost ordering is given by the
+// sort, so dominance reduces to a staircase query over the remaining
+// two dimensions): a combo is dominated iff some kept combo has both
+// arrival and peak no worse. The staircase keeps (d0, peak) steps with
+// d0 non-decreasing and peak strictly decreasing, so the best peak at
+// arrival <= x is the last step with d0 <= x — one binary search per
+// combo instead of a scan over all kept combos.
+func pruneCombos2D(in []combo, sc *solverScratch) []combo {
+	stair := sc.stair[:0]
+	out := in[:0]
+	for i := range in {
+		d0, peak := in[i].sig.D[0], in[i].sig.Peak
+		// pos: first step with d0 > x.d0.
+		pos := sort.Search(len(stair), func(j int) bool { return stair[j].d0 > d0 })
+		if pos > 0 && stair[pos-1].peak <= peak {
+			continue // dominated
+		}
+		out = append(out, in[i])
+		// Splice the new step in at pos, dropping the now-redundant
+		// steps that follow it with an equal-or-worse peak.
+		j := pos
+		for j < len(stair) && stair[j].peak >= peak {
+			j++
+		}
+		if j == pos {
+			stair = append(stair, stairStep{})
+			copy(stair[pos+1:], stair[pos:])
+			stair[pos] = stairStep{d0: d0, peak: peak}
+		} else {
+			stair[pos] = stairStep{d0: d0, peak: peak}
+			stair = append(stair[:pos+1], stair[j:]...)
+		}
+	}
+	sc.stair = stair[:0]
+	return out
+}
+
 // queueItem is a pending candidate in the wavefront priority queue.
 type queueItem struct {
 	sol    solution
 	vertex Vertex
 }
 
-type wavefrontQueue struct {
-	mode  Mode
-	items []queueItem
-}
-
-func (q *wavefrontQueue) Len() int { return len(q.items) }
-func (q *wavefrontQueue) Less(i, j int) bool {
-	return heapLess(q.mode, &q.items[i].sol.sig, &q.items[j].sol.sig)
-}
-func (q *wavefrontQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-func (q *wavefrontQueue) Push(x any)    { q.items = append(q.items, x.(queueItem)) }
-func (q *wavefrontQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	q.items = old[:n-1]
-	return it
-}
-
 // runWavefront is GenDijkstra (Fig. 6): a multi-source generalized
-// Dijkstra expansion seeded with the node's branching solutions.
-// Because items pop in non-decreasing (cost, arrival) order, a popped
-// candidate not dominated by the already-accepted set at its vertex is
-// itself non-dominated and final.
-func (r *Result) runWavefront(id NodeID, seeds []queueItem) {
+// Dijkstra expansion seeded with the node's branching solutions, which
+// processNode has staged in sc.items. Because items pop in
+// non-decreasing (cost, arrival) order, a popped candidate not
+// dominated by the already-accepted set at its vertex is itself
+// non-dominated and final.
+func (r *Result) runWavefront(id NodeID, sc *solverScratch) {
 	p := r.p
 	ns := &r.sols[id]
-	q := &wavefrontQueue{mode: p.Mode, items: seeds}
-	heap.Init(q)
-	for q.Len() > 0 {
-		it := heap.Pop(q).(queueItem)
+	h := waveHeap{mode: p.Mode, items: sc.items}
+	h.init()
+	for len(h.items) > 0 {
+		it := h.pop()
 		v := it.vertex
 		if !r.accept(ns, v, it.sol) {
 			continue
@@ -325,9 +555,10 @@ func (r *Result) runWavefront(id NodeID, seeds []queueItem) {
 				prevVertex: v,
 				prevIdx:    idx,
 			}
-			heap.Push(q, queueItem{sol: next, vertex: e.To})
+			h.push(queueItem{sol: next, vertex: e.To})
 		}
 	}
+	sc.items = h.items[:0]
 }
 
 // accept appends the solution to A[id][v] unless dominated (line d7).
@@ -446,11 +677,8 @@ func (r *Result) extract(v Vertex, idx int32, node NodeID, emb *Embedding) {
 func routeCost(g *Graph, route []Vertex) float64 {
 	total := 0.0
 	for i := 1; i < len(route); i++ {
-		for _, e := range g.Adj(route[i-1]) {
-			if e.To == route[i] {
-				total += e.Cost
-				break
-			}
+		if c, ok := g.EdgeCost(route[i-1], route[i]); ok {
+			total += c
 		}
 	}
 	return total

@@ -1,0 +1,122 @@
+package timing_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/timing"
+)
+
+type gridLoc struct {
+	locs []arch.Loc
+}
+
+func (g *gridLoc) Loc(id netlist.CellID) arch.Loc { return g.locs[id] }
+
+// randomPlaced builds a seeded synthetic circuit with registered LUTs
+// and a random (not necessarily legal — STA does not care) placement.
+func randomPlaced(t *testing.T, seed int64, luts int) (*netlist.Netlist, *gridLoc) {
+	t.Helper()
+	spec := circuits.Spec{
+		Name: "par", LUTs: luts, Inputs: 12, Outputs: 12,
+		Depth: 6, RegisteredFrac: 0.25, Seed: seed,
+	}
+	nl, err := circuits.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &gridLoc{locs: make([]arch.Loc, nl.Cap())}
+	for i := range g.locs {
+		g.locs[i] = arch.Loc{X: int16(rng.Intn(40)), Y: int16(rng.Intn(40))}
+	}
+	return nl, g
+}
+
+func analysesEqual(t *testing.T, name string, a, b *timing.Analysis) {
+	t.Helper()
+	if a.Period != b.Period || a.CritSink != b.CritSink {
+		t.Fatalf("%s: period/critsink differ: (%v, %v) vs (%v, %v)",
+			name, a.Period, a.CritSink, b.Period, b.CritSink)
+	}
+	cmp := func(field string, x, y []float64) {
+		if len(x) != len(y) {
+			t.Fatalf("%s: %s length %d vs %d", name, field, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] && !(math.IsInf(x[i], -1) && math.IsInf(y[i], -1)) {
+				t.Fatalf("%s: %s[%d] = %v vs %v", name, field, i, x[i], y[i])
+			}
+		}
+	}
+	cmp("Arr", a.Arr, b.Arr)
+	cmp("SinkArr", a.SinkArr, b.SinkArr)
+	cmp("Through", a.Through, b.Through)
+	cmp("Down", a.Down, b.Down)
+}
+
+// TestAnalyzeWorkersDeterministic checks that the levelized parallel
+// STA is bit-identical to the serial pass, including the per-level
+// fan-out path (the circuit is larger than the parallel cutoff).
+func TestAnalyzeWorkersDeterministic(t *testing.T) {
+	luts := 4000
+	if testing.Short() {
+		luts = 2500
+	}
+	dm := arch.DefaultDelayModel()
+	for seed := int64(1); seed <= 3; seed++ {
+		nl, pl := randomPlaced(t, seed, luts)
+		serial, err := timing.AnalyzeWorkers(nl, pl, dm, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			par, err := timing.AnalyzeWorkers(nl, pl, dm, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			analysesEqual(t, "seed/workers", serial, par)
+		}
+	}
+}
+
+// TestRegisteredSinkArrivalOrdering pins the fix for registered sinks
+// fed by combinational logic: the register's input arrival must see
+// its drivers' final arrival times, even though the topological order
+// places timing sources before the logic that feeds them.
+func TestRegisteredSinkArrivalOrdering(t *testing.T) {
+	n := netlist.New("regorder")
+	i := n.AddCell("i", netlist.IPad, 0)
+	a := n.AddCell("a", netlist.LUT, 1)
+	n.ConnectByName(a.ID, 0, "i")
+	r := n.AddCell("r", netlist.LUT, 1)
+	r.Registered = true
+	n.ConnectByName(r.ID, 0, "a")
+	o := n.AddCell("o", netlist.OPad, 1)
+	n.ConnectByName(o.ID, 0, "r")
+	locs := &gridLoc{locs: make([]arch.Loc, n.Cap())}
+	locs.locs[i.ID] = arch.Loc{X: 0, Y: 1}
+	locs.locs[a.ID] = arch.Loc{X: 2, Y: 1}
+	locs.locs[r.ID] = arch.Loc{X: 4, Y: 1}
+	locs.locs[o.ID] = arch.Loc{X: 5, Y: 1}
+	dm := arch.DelayModel{SegDelay: 1, LUTDelay: 2, IODelay: 0.5}
+	an, err := timing.Analyze(n, locs, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arr[a] = 2 wire + 2 LUT = 4; r's input path = 4 + 2 wire + 2
+	// LUT intrinsic = 8, which is also the critical path.
+	if got := an.Arr[a.ID]; got != 4 {
+		t.Errorf("Arr[a] = %v, want 4", got)
+	}
+	if got := an.SinkArr[r.ID]; got != 8 {
+		t.Errorf("SinkArr[r] = %v, want 8 (stale driver arrival used)", got)
+	}
+	if an.Period != 8 || an.CritSink != r.ID {
+		t.Errorf("Period %v at %v, want 8 at r", an.Period, an.CritSink)
+	}
+}

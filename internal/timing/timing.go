@@ -17,6 +17,8 @@ package timing
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/netlist"
@@ -78,14 +80,40 @@ func ManhattanWire(pl Locator, dm arch.DelayModel) WireDelayFunc {
 	}
 }
 
-// Analyze runs a full STA pass using Manhattan wire delays.
+// Analyze runs a full STA pass using Manhattan wire delays, with the
+// default worker count (GOMAXPROCS). Results are independent of the
+// worker count.
 func Analyze(nl *netlist.Netlist, pl Locator, dm arch.DelayModel) (*Analysis, error) {
-	return AnalyzeCustom(nl, ManhattanWire(pl, dm), dm)
+	return AnalyzeWorkers(nl, pl, dm, runtime.GOMAXPROCS(0))
+}
+
+// AnalyzeWorkers runs a full STA pass using Manhattan wire delays on
+// the given number of workers; 1 selects the exact serial path. The
+// parallel path levelizes the netlist and fans each level's arrival
+// (and, backward, required-time) computations out across goroutines;
+// it produces bit-identical results to the serial path because each
+// cell's values depend only on earlier (respectively later) levels.
+func AnalyzeWorkers(nl *netlist.Netlist, pl Locator, dm arch.DelayModel, workers int) (*Analysis, error) {
+	return AnalyzeCustomWorkers(nl, ManhattanWire(pl, dm), dm, workers)
 }
 
 // AnalyzeCustom runs a full STA pass with an arbitrary per-connection
-// wire delay function.
+// wire delay function, serially.
 func AnalyzeCustom(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel) (*Analysis, error) {
+	return AnalyzeCustomWorkers(nl, wireOf, dm, 1)
+}
+
+// minParallelCells gates the levelized parallel path: below this size
+// the per-level goroutine fan-out costs more than the work it splits.
+const minParallelCells = 2048
+
+// minParallelLevel is the smallest level that is worth fanning out.
+const minParallelLevel = 256
+
+// AnalyzeCustomWorkers runs a full STA pass with an arbitrary
+// per-connection wire delay function on the given number of workers.
+// wireOf must be safe for concurrent calls when workers > 1.
+func AnalyzeCustomWorkers(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel, workers int) (*Analysis, error) {
 	order, err := nl.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -101,15 +129,27 @@ func AnalyzeCustom(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel
 	for i := range a.SinkArr {
 		a.SinkArr[i] = math.Inf(-1)
 	}
+	down := a.Down
+	for i := range down {
+		down[i] = math.Inf(-1)
+	}
+	for i := range a.Through {
+		a.Through[i] = math.Inf(-1)
+	}
 
-	// Forward pass: arrival times in topological order.
-	for _, id := range order {
+	// forward computes one cell's output arrival and, for purely
+	// combinational sinks, its path arrival. Registered LUTs are both
+	// source and sink: their output arrival is 0, but their *input*
+	// arrival depends on drivers that the topological order does not
+	// place before them (edges into timing sources do not constrain
+	// it), so it is deferred to regArr below, after every Arr is
+	// final.
+	forward := func(id netlist.CellID) {
 		c := nl.Cell(id)
 		if c.IsSource() {
 			a.Arr[id] = 0
+			return
 		}
-		// Compute the worst input arrival (needed both for sink
-		// arrival and, for plain LUTs, for output arrival).
 		worstIn := math.Inf(-1)
 		haveIn := false
 		for _, net := range c.Fanin {
@@ -125,12 +165,8 @@ func AnalyzeCustom(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel
 		}
 		if c.IsSink() && haveIn {
 			a.SinkArr[id] = worstIn + Intrinsic(dm, c)
-			if a.SinkArr[id] > a.Period {
-				a.Period = a.SinkArr[id]
-				a.CritSink = id
-			}
 		}
-		if c.Kind == netlist.LUT && !c.Registered {
+		if c.Kind == netlist.LUT {
 			if haveIn {
 				a.Arr[id] = worstIn + dm.LUTDelay
 			} else {
@@ -138,30 +174,37 @@ func AnalyzeCustom(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel
 			}
 		}
 	}
-	if math.IsInf(a.Period, -1) {
-		return nil, fmt.Errorf("timing: netlist %s has no timing sinks", nl.Name)
+	// regArr finishes a registered sink once all arrivals are final.
+	regArr := func(id netlist.CellID) {
+		c := nl.Cell(id)
+		worstIn := math.Inf(-1)
+		haveIn := false
+		for _, net := range c.Fanin {
+			if net == netlist.None {
+				continue
+			}
+			u := nl.Net(net).Driver
+			t := a.Arr[u] + wireOf(u, id)
+			if t > worstIn {
+				worstIn = t
+			}
+			haveIn = true
+		}
+		if haveIn {
+			a.SinkArr[id] = worstIn + Intrinsic(dm, c)
+		}
 	}
-
-	// Backward pass: Through[u] = the slowest source-to-sink path
-	// delay over all paths touching u. A registered LUT lies on two
-	// kinds of paths — those ending at its input (SinkArr) and those
-	// starting at its output (Arr + downstream) — so Through takes the
-	// maximum of both.
-	down := a.Down
-	for i := range down {
-		down[i] = math.Inf(-1)
-	}
-	for i := range a.Through {
-		a.Through[i] = math.Inf(-1)
-	}
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
+	// backward computes one cell's worst downstream delay and Through.
+	// A registered LUT lies on two kinds of paths — those ending at
+	// its input (SinkArr) and those starting at its output (Arr +
+	// downstream) — so Through takes the maximum of both.
+	backward := func(id netlist.CellID) {
 		c := nl.Cell(id)
 		if c.IsSink() && !math.IsInf(a.SinkArr[id], -1) {
 			a.Through[id] = a.SinkArr[id]
 		}
 		if c.Out == netlist.None {
-			continue
+			return
 		}
 		for _, p := range nl.Net(c.Out).Sinks {
 			v := p.Cell
@@ -185,7 +228,112 @@ func AnalyzeCustom(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel
 			}
 		}
 	}
+
+	var regs []netlist.CellID
+	for _, id := range order {
+		if c := nl.Cell(id); c.IsSource() && c.IsSink() {
+			regs = append(regs, id)
+		}
+	}
+
+	if workers <= 1 || len(order) < minParallelCells {
+		for _, id := range order {
+			forward(id)
+		}
+		for _, id := range regs {
+			regArr(id)
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			backward(order[i])
+		}
+	} else {
+		// Levelized parallel passes: all cells of one level depend
+		// only on cells of strictly earlier levels (later levels, for
+		// the backward pass), so each level fans out across workers.
+		levels := levelize(nl, order)
+		for _, lv := range levels {
+			runLevel(lv, workers, forward)
+		}
+		runLevel(regs, workers, regArr)
+		for i := len(levels) - 1; i >= 0; i-- {
+			runLevel(levels[i], workers, backward)
+		}
+	}
+
+	// Period/CritSink reduction in topological order (first sink to
+	// strictly exceed the running maximum wins), so serial and
+	// parallel agree on tie-breaking.
+	for _, id := range order {
+		if t := a.SinkArr[id]; !math.IsInf(t, -1) && t > a.Period {
+			a.Period = t
+			a.CritSink = id
+		}
+	}
+	if math.IsInf(a.Period, -1) {
+		return nil, fmt.Errorf("timing: netlist %s has no timing sinks", nl.Name)
+	}
 	return a, nil
+}
+
+// levelize buckets the live cells by combinational depth: sources at
+// level 0, every other cell one past its deepest fanin driver. Within
+// a level cells keep their topological order, so chunked reductions
+// stay deterministic.
+func levelize(nl *netlist.Netlist, order []netlist.CellID) [][]netlist.CellID {
+	lvl := make([]int32, nl.Cap())
+	maxl := int32(0)
+	for _, id := range order {
+		c := nl.Cell(id)
+		if c.IsSource() {
+			continue // level 0
+		}
+		l := int32(0)
+		for _, net := range c.Fanin {
+			if net == netlist.None {
+				continue
+			}
+			u := nl.Net(net).Driver
+			if lvl[u]+1 > l {
+				l = lvl[u] + 1
+			}
+		}
+		lvl[id] = l
+		if l > maxl {
+			maxl = l
+		}
+	}
+	levels := make([][]netlist.CellID, maxl+1)
+	for _, id := range order {
+		levels[lvl[id]] = append(levels[lvl[id]], id)
+	}
+	return levels
+}
+
+// runLevel applies fn to every cell of one level, fanning out across
+// workers when the level is wide enough to amortize the goroutines.
+func runLevel(cells []netlist.CellID, workers int, fn func(netlist.CellID)) {
+	if workers <= 1 || len(cells) < minParallelLevel {
+		for _, id := range cells {
+			fn(id)
+		}
+		return
+	}
+	chunk := (len(cells) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(cells); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		wg.Add(1)
+		go func(span []netlist.CellID) {
+			defer wg.Done()
+			for _, id := range span {
+				fn(id)
+			}
+		}(cells[lo:hi])
+	}
+	wg.Wait()
 }
 
 // Slack returns Period minus the slowest path through cell id; cells on
