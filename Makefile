@@ -5,7 +5,7 @@ GO ?= go
 BENCH ?= ^(BenchmarkEmbed|BenchmarkSTA)
 BENCHTIME ?= 1s
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet lint assert check bench clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,22 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# replint is the project's own static analyzer (cmd/replint): custom
+# determinism/correctness rules the parallel solver depends on. Zero
+# unsuppressed findings is part of `make check`.
+lint:
+	$(GO) run ./cmd/replint ./...
+
+# Runtime invariant layer: built with -tags replassert, the embedder and
+# the STA re-verify their structural invariants (prune staircase, wave
+# pop order, arrival recurrence) on every run of the regular suites.
+assert:
+	$(GO) test -tags replassert ./internal/embed/... ./internal/timing/...
+
+# The full gate, in CI order: compile, vet, lint, plain tests, the
+# asserting build, then the race suite.
+check: build vet lint test assert race
 
 # Runs the embedder/STA micro-benchmarks and records machine-readable
 # results in BENCH_embed.json (text copy in BENCH_embed.txt).

@@ -6,13 +6,18 @@
 // Standard units (ns/op, B/op, allocs/op) become top-level fields;
 // custom b.ReportMetric units land in "metrics". Non-benchmark lines
 // (build output, pass/fail summary) are ignored, so the command can sit
-// at the end of a pipe without upstream filtering.
+// at the end of a pipe without upstream filtering — but a line that
+// *starts* like a benchmark result and then fails to parse is an error,
+// and producing no results at all is an error too. Silently emitting
+// `[]` is how a broken bench pipeline poisons a perf dashboard.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,35 +34,54 @@ type result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// errNoResults reports input that contained no benchmark lines at all —
+// usually a failed bench run or a -bench pattern that matched nothing.
+var errNoResults = errors.New("no benchmark results in input (failed run or -bench matched nothing?)")
+
 func main() {
-	var results []result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			results = append(results, r)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if results == nil {
-		results = []result{}
-	}
-	if err := enc.Encode(results); err != nil {
+	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// run converts bench output on r to a JSON array on w. Lines that start
+// like a benchmark result but fail to parse are errors, as is input
+// that yields no results at all.
+func run(r io.Reader, w io.Writer) error {
+	var results []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v: %q", lineno, err, line)
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return errNoResults
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
 // parseLine decodes one "BenchmarkName-P  N  v unit  v unit ..." line.
-func parseLine(line string) (result, bool) {
+// The caller guarantees the line starts with "Benchmark".
+func parseLine(line string) (result, error) {
 	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return result{}, false
+	if len(fields) < 4 {
+		return result{}, fmt.Errorf("want name, iterations, and value/unit pairs; got %d fields", len(fields))
 	}
 	r := result{Name: strings.TrimPrefix(fields[0], "Benchmark")}
 	if i := strings.LastIndex(r.Name, "-"); i >= 0 {
@@ -67,14 +91,17 @@ func parseLine(line string) (result, bool) {
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return result{}, false
+		return result{}, fmt.Errorf("bad iteration count %q", fields[1])
 	}
 	r.Iterations = iters
 	// The remainder alternates value/unit pairs.
+	if (len(fields)-2)%2 != 0 {
+		return result{}, fmt.Errorf("dangling field %q without a unit", fields[len(fields)-1])
+	}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return result{}, false
+			return result{}, fmt.Errorf("bad value %q for unit %q", fields[i], fields[i+1])
 		}
 		switch unit := fields[i+1]; unit {
 		case "ns/op":
@@ -90,5 +117,5 @@ func parseLine(line string) (result, bool) {
 			r.Metrics[unit] = v
 		}
 	}
-	return r, true
+	return r, nil
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/embed
+BenchmarkEmbedWave-8   	     120	   9876543 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkSTA-8         	    5000	    234567 ns/op	       4.25 combos/op
+PASS
+ok  	repro/internal/embed	3.210s
+`
+
+func decode(t *testing.T, out string) []result {
+	t.Helper()
+	var rs []result
+	if err := json.Unmarshal([]byte(out), &rs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	return rs
+}
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(benchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	rs := decode(t, out.String())
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	wave := rs[0]
+	if wave.Name != "EmbedWave" || wave.Procs != 8 || wave.Iterations != 120 {
+		t.Errorf("first result header = %q/%d/%d, want EmbedWave/8/120", wave.Name, wave.Procs, wave.Iterations)
+	}
+	if wave.NsPerOp != 9876543 || wave.BytesPerOp != 123456 || wave.AllocsPerOp != 789 {
+		t.Errorf("standard units wrong: %+v", wave)
+	}
+	if got := rs[1].Metrics["combos/op"]; got != 4.25 {
+		t.Errorf("custom metric combos/op = %v, want 4.25", got)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	for name, input := range map[string]string{
+		"empty":          "",
+		"no bench lines": "goos: linux\nPASS\nok  \trepro\t0.1s\n",
+	} {
+		var out strings.Builder
+		err := run(strings.NewReader(input), &out)
+		if !errors.Is(err, errNoResults) {
+			t.Errorf("%s: err = %v, want errNoResults", name, err)
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s: wrote output despite error: %q", name, out.String())
+		}
+	}
+}
+
+func TestRunRejectsMalformedBenchLines(t *testing.T) {
+	for name, input := range map[string]string{
+		"bad iterations": "BenchmarkX-8\tmany\t100 ns/op\n",
+		"bad value":      "BenchmarkX-8\t100\tfast ns/op\n",
+		"dangling field": "BenchmarkX-8\t100\t100 ns/op\t7\n",
+		"truncated":      "BenchmarkX-8\t100\n",
+	} {
+		var out strings.Builder
+		err := run(strings.NewReader(input), &out)
+		if err == nil {
+			t.Errorf("%s: run accepted malformed line %q", name, input)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("%s: error %q does not name the offending line", name, err)
+		}
+	}
+}
+
+func TestRunReportsLineNumbers(t *testing.T) {
+	input := "goos: linux\nBenchmarkOK-8\t10\t5 ns/op\nBenchmarkBad-8\tnope\t5 ns/op\n"
+	var out strings.Builder
+	err := run(strings.NewReader(input), &out)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want mention of line 3", err)
+	}
+}

@@ -1,0 +1,126 @@
+// Command replint runs the repository's determinism/correctness rule
+// suite (internal/analysis) over module packages. It needs no network
+// and no external tooling: packages are parsed and type-checked with
+// the standard library alone.
+//
+// Usage:
+//
+//	replint [flags] [packages]
+//
+// Packages default to ./... relative to the module root, which is
+// found by walking up from the working directory to go.mod.
+//
+// Exit status is 1 when any unsuppressed finding (or malformed replint
+// directive) is reported, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("replint", flag.ExitOnError)
+	rules := fs.Bool("rules", false, "print the rule catalog and exit")
+	verbose := fs.Bool("v", false, "also show suppressed findings and type-check diagnostics")
+	dir := fs.String("C", "", "change to this directory before resolving the module root")
+	fs.Parse(argv)
+
+	if *rules {
+		for _, a := range analysis.All() {
+			fmt.Printf("%s\n\t%s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("\nsuppression:\n\t//replint:ignore rule[,rule...] -- reason\n" +
+			"\t(trailing: suppresses its own line; standalone: the next line)\n")
+		return 0
+	}
+
+	start := *dir
+	if start == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replint:", err)
+			return 2
+		}
+		start = wd
+	}
+	moduleDir, err := findModuleRoot(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replint:", err)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(moduleDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replint:", err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "replint: no packages match", patterns)
+		return 2
+	}
+
+	bad := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replint: %s: %v\n", path, err)
+			return 2
+		}
+		if *verbose {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "replint: typecheck (best-effort): %v\n", terr)
+			}
+		}
+		for _, f := range analysis.RunAnalyzers(pkg, analysis.All()) {
+			if f.Suppressed {
+				if *verbose {
+					fmt.Printf("%s [suppressed: %s]\n", f, f.Reason)
+				}
+				continue
+			}
+			fmt.Println(f)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "replint: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// replint honors two comment directives:
+//
+//	//replint:ignore rule1,rule2 -- reason
+//	    Suppresses findings of the listed rules. A trailing comment
+//	    suppresses findings on its own line; a comment alone on a line
+//	    suppresses findings on the line below it. The "-- reason" part
+//	    is mandatory: a suppression without a written justification is
+//	    itself reported (rule "directive") and cannot be silenced.
+//
+//	//replint:floatcmp-helper
+//	    Placed in a function's doc comment, designates that function as
+//	    one of the blessed comparison helpers: exact float comparisons
+//	    inside it are allowed (see the floatcmp rule).
+
+// directiveRule is the reserved rule ID for malformed directives.
+const directiveRule = "directive"
+
+var ignoreRE = regexp.MustCompile(`^//replint:ignore\s+([A-Za-z0-9_,]+)\s+--\s+(\S.*)$`)
+
+// helperDirective is the marker for designated float-compare helpers.
+const helperDirective = "//replint:floatcmp-helper"
+
+// directives indexes the parsed ignore directives of one package.
+type directives struct {
+	// byLine maps filename -> line -> suppressions effective there.
+	byLine    map[string]map[int][]ignoreEntry
+	malformed []Finding
+}
+
+type ignoreEntry struct {
+	rules  []string
+	reason string
+}
+
+// collectDirectives scans every comment of the package for replint
+// directives and computes the lines each one covers.
+func collectDirectives(pkg *Package) *directives {
+	d := &directives{byLine: map[string]map[int][]ignoreEntry{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.addComment(pkg, c)
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) addComment(pkg *Package, c *ast.Comment) {
+	text := c.Text
+	if !strings.HasPrefix(text, "//replint:") {
+		return
+	}
+	if strings.HasPrefix(text, helperDirective) {
+		return // handled structurally by floatcmp
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	m := ignoreRE.FindStringSubmatch(text)
+	if m == nil {
+		d.malformed = append(d.malformed, Finding{
+			Pos:  pos,
+			Rule: directiveRule,
+			Msg:  `malformed replint directive; want "//replint:ignore rule[,rule...] -- reason"`,
+		})
+		return
+	}
+	entry := ignoreEntry{rules: strings.Split(m[1], ","), reason: m[2]}
+	// A comment with code before it on its line shields that line; a
+	// comment alone on its line shields the next line.
+	line := pos.Line
+	if standaloneComment(pkg.Src[pos.Filename], pos.Offset) {
+		line++
+	}
+	if d.byLine[pos.Filename] == nil {
+		d.byLine[pos.Filename] = map[int][]ignoreEntry{}
+	}
+	d.byLine[pos.Filename][line] = append(d.byLine[pos.Filename][line], entry)
+}
+
+// standaloneComment reports whether only whitespace precedes the
+// comment (starting at the given byte offset) on its source line.
+func standaloneComment(src []byte, offset int) bool {
+	if offset > len(src) {
+		return false
+	}
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // comment starts the file
+}
+
+// suppressed reports whether a finding of rule at file:line is covered
+// by a directive, and returns the directive's reason.
+func (d *directives) suppressed(file string, line int, rule string) (string, bool) {
+	for _, e := range d.byLine[file][line] {
+		for _, r := range e.rules {
+			if r == rule {
+				return e.reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// isHelperFunc reports whether the function declaration carries the
+// floatcmp-helper designation in its doc comment.
+func isHelperFunc(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, helperDirective) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,399 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+const scratchLeakRule = "scratchleak"
+
+// ScratchLeak flags pooled values that can escape their pool: a value
+// obtained from sync.Pool.Get or from a pooled scratch constructor
+// (functions named getScratch, as in internal/embed's solver scratch)
+// must be released — via Put/putScratch — on every path to function
+// exit, or the pool degrades to plain allocation and the GC churn the
+// pool exists to remove comes back under load.
+//
+// The check is a conservative intraprocedural must-release walk rooted
+// at the acquisition: a `defer put(x)` satisfies it immediately;
+// otherwise every return reachable after the acquisition must follow a
+// release, and falling off the end of the function (or of a loop body
+// that re-acquires next iteration) unreleased is a leak. Loop bodies
+// after the acquisition point are treated as possibly skipped. Function
+// literals are analyzed as separate functions (a release inside a
+// spawned goroutine does not release the parent's value).
+var ScratchLeak = &Analyzer{
+	Name: scratchLeakRule,
+	Doc: "flags sync.Pool.Get / getScratch values not released (Put/putScratch) " +
+		"on every path to function exit; prefer `defer put(x)` right after the Get",
+	Run: runScratchLeak,
+}
+
+func runScratchLeak(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkScratchFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkScratchFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// acquisition is one pooled value bound to a local variable.
+type acquisition struct {
+	obj         types.Object
+	stmt        *ast.AssignStmt
+	source      string
+	releaseHint string
+}
+
+// checkScratchFunc runs the must-release analysis over one function
+// body (excluding nested function literals, which are checked on their
+// own).
+func checkScratchFunc(pass *Pass, body *ast.BlockStmt) {
+	for _, acq := range findAcquisitions(pass, body) {
+		spine, inLoop := findSpine(body, acq.stmt)
+		if spine == nil {
+			continue // unreachable given findAcquisitions, defensive
+		}
+		w := &releaseWalk{pass: pass, acq: acq}
+		released := false
+		terminated := false
+		// Walk the statement suffix at each nesting level from the
+		// acquisition outward; every statement visited is dominated by
+		// the acquisition, so the must-release state is meaningful.
+		for level := len(spine) - 1; level >= 0; level-- {
+			released, terminated = w.stmts(spine[level].rest, released)
+			if terminated || w.deferred {
+				return
+			}
+			if inLoop[level] {
+				// Falling off a loop-body level: the next iteration
+				// re-acquires into the same variable, so this
+				// iteration's value must already be released.
+				if !released {
+					pass.Report(acq.stmt.Pos(), scratchLeakRule, fmt.Sprintf(
+						"%s obtained from %s leaks across loop iterations; release it before the loop body ends or use `defer %s`",
+						acq.obj.Name(), acq.source, acq.releaseHint))
+				}
+				return
+			}
+		}
+		if !released {
+			pass.Report(acq.stmt.Pos(), scratchLeakRule, fmt.Sprintf(
+				"%s obtained from %s is not released on every path; add `defer %s` after the Get",
+				acq.obj.Name(), acq.source, acq.releaseHint))
+		}
+	}
+}
+
+// spineLevel is one nesting level on the path from the function body to
+// the acquisition: the statements following the acquisition (or the
+// construct containing it) in that level's statement list.
+type spineLevel struct {
+	rest []ast.Stmt
+}
+
+// findSpine locates the acquisition statement and returns, outermost
+// first, the statement suffixes after it at each nesting level, plus a
+// parallel slice marking levels whose suffix belongs to a loop body.
+// Function literals are not descended into.
+func findSpine(body *ast.BlockStmt, target ast.Stmt) ([]spineLevel, []bool) {
+	var spine []spineLevel
+	var inLoop []bool
+	var search func(list []ast.Stmt, loop bool) bool
+	search = func(list []ast.Stmt, loop bool) bool {
+		for i, s := range list {
+			if s == target {
+				spine = append(spine, spineLevel{rest: list[i+1:]})
+				inLoop = append(inLoop, loop)
+				return true
+			}
+			found := false
+			switch st := s.(type) {
+			case *ast.BlockStmt:
+				found = search(st.List, false)
+			case *ast.IfStmt:
+				found = search(st.Body.List, false)
+				if !found && st.Else != nil {
+					found = search([]ast.Stmt{st.Else}, false)
+				}
+			case *ast.ForStmt:
+				found = search(st.Body.List, true)
+			case *ast.RangeStmt:
+				found = search(st.Body.List, true)
+			case *ast.SwitchStmt:
+				found = searchClauses(st.Body, search)
+			case *ast.TypeSwitchStmt:
+				found = searchClauses(st.Body, search)
+			case *ast.SelectStmt:
+				found = searchClauses(st.Body, search)
+			case *ast.LabeledStmt:
+				found = search([]ast.Stmt{st.Stmt}, loop)
+				if found {
+					continue // suffix already recorded at this level
+				}
+			}
+			if found {
+				spine = append(spine, spineLevel{rest: list[i+1:]})
+				inLoop = append(inLoop, false)
+				return true
+			}
+		}
+		return false
+	}
+	if !search(body.List, false) {
+		return nil, nil
+	}
+	// search built the spine innermost-first; reverse to outermost-first.
+	for i, j := 0, len(spine)-1; i < j; i, j = i+1, j-1 {
+		spine[i], spine[j] = spine[j], spine[i]
+		inLoop[i], inLoop[j] = inLoop[j], inLoop[i]
+	}
+	return spine, inLoop
+}
+
+func searchClauses(body *ast.BlockStmt, search func([]ast.Stmt, bool) bool) bool {
+	for _, c := range body.List {
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			if search(cl.Body, false) {
+				return true
+			}
+		case *ast.CommClause:
+			if search(cl.Body, false) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findAcquisitions scans the body (skipping nested FuncLits) for
+// `x := getScratch()` / `x := pool.Get().(*T)` bindings.
+func findAcquisitions(pass *Pass, body *ast.BlockStmt) []*acquisition {
+	var out []*acquisition
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		src, hint := acquisitionSource(pass, as.Rhs[0], id.Name)
+		if src == "" {
+			return
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		out = append(out, &acquisition{obj: obj, stmt: as, source: src, releaseHint: hint})
+	})
+	return out
+}
+
+// acquisitionSource classifies the right-hand side of a binding,
+// unwrapping a type assertion around a sync.Pool Get.
+func acquisitionSource(pass *Pass, rhs ast.Expr, varName string) (source, hint string) {
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ta.X
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "getScratch" {
+			return "getScratch()", "putScratch(" + varName + ")"
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Get" && isSyncPool(pass, fun.X) {
+			return exprString(fun.X) + ".Get()", exprString(fun.X) + ".Put(" + varName + ")"
+		}
+	}
+	return "", ""
+}
+
+func isSyncPool(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isReleaseCall reports whether the call releases the acquired value:
+// putScratch(x) or pool.Put(x).
+func isReleaseCall(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	if !ok || pass.ObjectOf(arg) != obj {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "putScratch"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Put" && isSyncPool(pass, fun.X)
+	}
+	return false
+}
+
+// releaseWalk carries the must-release analysis for one acquisition.
+// Every statement it visits is dominated by the acquisition.
+type releaseWalk struct {
+	pass     *Pass
+	acq      *acquisition
+	deferred bool
+}
+
+func (w *releaseWalk) block(b *ast.BlockStmt, released bool) (bool, bool) {
+	if b == nil {
+		return released, false
+	}
+	return w.stmts(b.List, released)
+}
+
+// stmts walks a statement list with the entry must-release state. It
+// returns the state at the end of the list and whether every path
+// through it terminated (returned).
+func (w *releaseWalk) stmts(list []ast.Stmt, released bool) (bool, bool) {
+	for _, s := range list {
+		var terminated bool
+		released, terminated = w.stmt(s, released)
+		if terminated || w.deferred {
+			return released, terminated
+		}
+	}
+	return released, false
+}
+
+func (w *releaseWalk) stmt(s ast.Stmt, released bool) (endReleased, terminated bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && isReleaseCall(w.pass, call, w.acq.obj) {
+			return true, false
+		}
+		return released, false
+	case *ast.DeferStmt:
+		if isReleaseCall(w.pass, st.Call, w.acq.obj) {
+			w.deferred = true
+			return true, false
+		}
+		return released, false
+	case *ast.ReturnStmt:
+		if !released {
+			w.pass.Report(st.Pos(), scratchLeakRule, fmt.Sprintf(
+				"return without releasing %s (from %s); release it or use `defer %s`",
+				w.acq.obj.Name(), w.acq.source, w.acq.releaseHint))
+		}
+		return released, true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			released, _ = w.stmt(st.Init, released)
+		}
+		r1, t1 := w.block(st.Body, released)
+		r2, t2 := released, false
+		if st.Else != nil {
+			r2, t2 = w.stmt(st.Else, released)
+		}
+		if t1 && t2 {
+			return released, true
+		}
+		// A terminated branch imposes no constraint on the join.
+		return (t1 || r1) && (t2 || r2), false
+	case *ast.BlockStmt:
+		return w.stmts(st.List, released)
+	case *ast.ForStmt:
+		// The body may run zero times: effects inside do not count
+		// toward the exit state, but returns inside are still checked.
+		w.block(st.Body, released)
+		return released, false
+	case *ast.RangeStmt:
+		w.block(st.Body, released)
+		return released, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var bodies []*ast.BlockStmt
+		var hasDefault bool
+		collectClauses(st, &bodies, &hasDefault)
+		all := true
+		for _, b := range bodies {
+			r, t := w.stmts(b.List, released)
+			if !t {
+				all = all && r
+			}
+		}
+		if !hasDefault {
+			all = all && released
+		}
+		return all, false
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, released)
+	default:
+		return released, false
+	}
+}
+
+// collectClauses flattens switch/select clauses into pseudo-blocks.
+func collectClauses(s ast.Stmt, bodies *[]*ast.BlockStmt, hasDefault *bool) {
+	var body *ast.BlockStmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	default:
+		return
+	}
+	for _, c := range body.List {
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				*hasDefault = true
+			}
+			*bodies = append(*bodies, &ast.BlockStmt{List: cl.Body})
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				*hasDefault = true
+			}
+			*bodies = append(*bodies, &ast.BlockStmt{List: cl.Body})
+		}
+	}
+}
+
+// inspectSkippingFuncLits visits nodes of the body without descending
+// into nested function literals.
+func inspectSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

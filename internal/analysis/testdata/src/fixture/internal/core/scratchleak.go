@@ -1,0 +1,79 @@
+// Package core is a replint fixture for the scratchleak rule: values
+// obtained from getScratch or a sync.Pool must be released on every
+// path that the acquisition dominates.
+package core
+
+import "sync"
+
+type scratch struct{ buf []int }
+
+var bufs sync.Pool
+
+func getScratch() *scratch  { return &scratch{} }
+func putScratch(s *scratch) { _ = s }
+
+// earlyReturnLeak releases on the fallthrough path only; the early
+// return leaks and is reported where the leak happens.
+func earlyReturnLeak(flag bool) int {
+	s := getScratch()
+	if flag {
+		return 0 // want scratchleak
+	}
+	putScratch(s)
+	return 1
+}
+
+// endLeak never releases at all; the report anchors at the acquisition.
+func endLeak() {
+	s := getScratch() // want scratchleak
+	s.buf = append(s.buf, 1)
+}
+
+// poolEndLeak leaks a sync.Pool value the same way.
+func poolEndLeak() {
+	b := bufs.Get().(*scratch) // want scratchleak
+	b.buf = b.buf[:0]
+}
+
+// loopLeak releases only on one branch of the loop body, so the value
+// of every other iteration is lost before the next Get overwrites s.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		s := getScratch() // want scratchleak
+		if i == 0 {
+			putScratch(s)
+		}
+	}
+}
+
+// deferOK releases via defer, which covers every exit.
+func deferOK() {
+	s := getScratch()
+	defer putScratch(s)
+	s.buf = s.buf[:0]
+}
+
+// branchesOK releases on both sides of the split.
+func branchesOK(flag bool) {
+	s := getScratch()
+	if flag {
+		putScratch(s)
+		return
+	}
+	putScratch(s)
+}
+
+// poolRoundTrip returns a sync.Pool value properly.
+func poolRoundTrip() {
+	b := bufs.Get().(*scratch)
+	b.buf = b.buf[:0]
+	bufs.Put(b)
+}
+
+// escapes hands ownership to the caller; the suppression documents the
+// transfer.
+func escapes() *scratch {
+	s := getScratch()
+	//replint:ignore scratchleak -- fixture: ownership transfers to the caller, which must release
+	return s // wantsuppressed scratchleak
+}

@@ -1,0 +1,63 @@
+// Package embed is a replint fixture: its import path sits inside the
+// determinism-critical subtree, so the maprange rule applies. Lines
+// carrying a `// want maprange` marker must produce an unsuppressed
+// finding; `// wantsuppressed maprange` lines must produce a finding
+// covered by the adjacent //replint:ignore directive.
+package embed
+
+import "sort"
+
+// keysUnsorted feeds map iteration order straight into a slice: the
+// classic nondeterminism bug the rule exists for.
+func keysUnsorted(m map[int]string) []int {
+	var out []int
+	for k := range m { // want maprange
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted collects then sorts before any ordered use: recognized as
+// the collect-then-sort idiom, not flagged.
+func keysSorted(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// countKinds only bumps integer counters keyed by the value: a
+// commutative effect, order-insensitive, not flagged.
+func countKinds(m map[int]string) map[string]int {
+	counts := map[string]int{}
+	for _, v := range m {
+		counts[v]++
+	}
+	return counts
+}
+
+// invert writes a fresh map without reading it back: order-insensitive,
+// not flagged.
+func invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// maxKeySuppressed picks a max with no tie-break — genuinely
+// order-sensitive when values collide — but the author has documented
+// why it is acceptable here, so the finding is suppressed.
+func maxKeySuppressed(m map[int]string) int {
+	best := -1
+	//replint:ignore maprange -- fixture: keys are unique by construction, max has no ties
+	for k := range m { // wantsuppressed maprange
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}

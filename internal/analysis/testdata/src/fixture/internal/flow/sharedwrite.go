@@ -1,0 +1,85 @@
+// Package flow is a replint fixture for the sharedwrite rule: workers —
+// function literals launched with `go` or handed to a runLevel-style
+// fan-out — may only write captured state through indices that are
+// their own parameters.
+package flow
+
+// runLevels is a worker-spawning callee by naming convention: anything
+// passed to it runs concurrently.
+func runLevels(n int, fn func(i int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// badSum accumulates into a captured scalar from a goroutine: the
+// textbook shared write.
+func badSum(xs []float64) float64 {
+	total := 0.0
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			total += x // want sharedwrite
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// boundWorker writes captured state from a literal bound to a variable
+// that is later launched: still a worker, still flagged.
+func boundWorker() int {
+	hits := 0
+	done := make(chan struct{})
+	w := func() {
+		hits++ // want sharedwrite
+		close(done)
+	}
+	go w()
+	<-done
+	return hits
+}
+
+// squares writes only through its own parameter index: sibling workers
+// touch disjoint elements, the partitioned-write idiom, not flagged.
+func squares(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	runLevels(len(xs), func(i int) {
+		out[i] = xs[i] * xs[i]
+	})
+	return out
+}
+
+// localOnly writes a variable declared inside the worker: not captured,
+// not flagged.
+func localOnly(xs []int) {
+	runLevels(len(xs), func(i int) {
+		acc := 0
+		for _, x := range xs {
+			acc += x
+		}
+		_ = acc
+	})
+}
+
+// singleWriter has exactly one goroutine touching the captured slot and
+// documents why that cannot race.
+func singleWriter(xs []int) int {
+	best := -1
+	done := make(chan struct{})
+	go func() {
+		//replint:ignore sharedwrite -- fixture: the lone worker is the only writer; the read is gated on done
+		best = xs[0] // wantsuppressed sharedwrite
+		close(done)
+	}()
+	<-done
+	return best
+}

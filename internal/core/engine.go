@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/embed"
@@ -436,7 +437,11 @@ func (e *Engine) refineLex(res *embed.Result, base embed.FrontierSol) embed.Fron
 
 // lexBetter compares delay vectors lexicographically (with the Lex-mc
 // critical-input arrival as the penultimate component); exact delay
-// ties prefer less gate stacking, then lower cost.
+// ties prefer less gate stacking, then lower cost. Both signatures are
+// produced by the same operation sequence, so bitwise tie detection is
+// the intended semantics.
+//
+//replint:floatcmp-helper
 func lexBetter(a, b *embed.Sig, depth int, mc bool) bool {
 	for i := 0; i < depth; i++ {
 		if a.D[i] != b.D[i] {
@@ -486,6 +491,7 @@ func (e *Engine) selectRelocation(res *embed.Result, g *embed.Graph, sink netlis
 			}
 		}
 		score := math.Max(f.Sig.D[0], out)
+		//replint:ignore floatcmp -- exact score tie deterministically prefers the cheaper candidate; an epsilon here would make the winner depend on visit order
 		if score < bestScore || (score == bestScore && best >= 0 && f.Sig.Cost < res.Frontier[best].Sig.Cost) {
 			bestScore = score
 			best = i
@@ -538,13 +544,21 @@ func (e *Engine) trimMembers(spt *timing.SPT, members map[netlist.CellID]bool) {
 		depth[id] = d
 		return d
 	}
+	// Iterate members in sorted-ID order: map order must never reach
+	// an ordered decision (replint:maprange), and depthOf memoization
+	// plus the selection below both consume this sequence.
+	ids := make([]netlist.CellID, 0, len(members))
+	for id := range members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	type entry struct {
 		id netlist.CellID
 		pt float64
 		d  int
 	}
-	entries := make([]entry, 0, len(members))
-	for id := range members {
+	entries := make([]entry, 0, len(ids))
+	for _, id := range ids {
 		if id == spt.Sink {
 			continue
 		}
@@ -553,6 +567,7 @@ func (e *Engine) trimMembers(spt *timing.SPT, members map[netlist.CellID]bool) {
 	// Selection by PathThrough descending, then depth ascending, then
 	// ID for determinism.
 	less := func(a, b entry) bool {
+		//replint:ignore floatcmp -- total-order comparator: an epsilon tie would break transitivity; bitwise equality falls through to depth/ID tie-breaks
 		if a.pt != b.pt {
 			return a.pt > b.pt
 		}
@@ -570,14 +585,18 @@ func (e *Engine) trimMembers(spt *timing.SPT, members map[netlist.CellID]bool) {
 	for i := 0; i < len(entries) && len(keep)-1 < limit; i++ {
 		keep[entries[i].id] = true
 	}
-	// Closure: drop members whose parent chain leaves the set.
+	// Closure: drop members whose parent chain leaves the set. Iterate
+	// the sorted ID slice, not the map — the per-pass delete order
+	// affects how fast the fixpoint converges, and ranging keep while
+	// deleting from it under a condition that reads it is exactly the
+	// shape the maprange rule exists to keep out.
 	for changed := true; changed; {
 		changed = false
-		for id := range keep {
+		for _, id := range ids {
 			if id == spt.Sink {
 				continue
 			}
-			if !keep[spt.Parent[id]] {
+			if keep[id] && !keep[spt.Parent[id]] {
 				delete(keep, id)
 				changed = true
 			}

@@ -1,0 +1,92 @@
+//go:build replassert
+
+package embed
+
+import "fmt"
+
+// assertEnabled gates the replassert runtime invariant layer. Built
+// with -tags replassert, the solver re-checks its structural invariants
+// at the points the determinism contract leans on; the default build
+// compiles the checks away entirely (see assert_off.go).
+const assertEnabled = true
+
+// assertStaircase panics unless the 2-D prune staircase is monotone:
+// d0 non-decreasing and peak strictly decreasing. Every dominance query
+// in pruneCombos2D is a binary search over this shape; a broken
+// staircase silently keeps dominated combos or drops optimal ones.
+func assertStaircase(stair []stairStep) {
+	for i := 1; i < len(stair); i++ {
+		if stair[i].d0 < stair[i-1].d0 || stair[i].peak >= stair[i-1].peak {
+			panic(fmt.Sprintf(
+				"replassert: prune staircase not monotone at step %d: (d0=%g,peak=%d) -> (d0=%g,peak=%d)",
+				i, stair[i-1].d0, stair[i-1].peak, stair[i].d0, stair[i].peak))
+		}
+	}
+}
+
+// assertNonDominatedCombos panics if an earlier combo of a pruned,
+// heap-ordered set dominates a later one — the exact guarantee the
+// sorted prune sweep makes. (The reverse direction is not asserted: a
+// later combo may dominate an earlier one through a smaller Peak,
+// which the heap order deliberately ignores.)
+func assertNonDominatedCombos(m Mode, combos []combo) {
+	for i := range combos {
+		for j := i + 1; j < len(combos); j++ {
+			if dominates(m, &combos[i].sig, &combos[j].sig) {
+				panic(fmt.Sprintf(
+					"replassert: pruned combo %d dominates later combo %d — prune sweep kept dead weight", i, j))
+			}
+		}
+	}
+}
+
+// assertWaveOrder panics when a wavefront pop goes backwards in the
+// heap order. GenDijkstra's finality argument — a popped candidate not
+// dominated by the accepted set is itself final — holds only while
+// pops are non-decreasing under heapLess.
+func assertWaveOrder(m Mode, prev *Sig, havePrev bool, cur *Sig) {
+	if havePrev && heapLess(m, cur, prev) {
+		panic(fmt.Sprintf(
+			"replassert: wavefront pop order regressed: cost %g after cost %g", cur.Cost, prev.Cost))
+	}
+}
+
+// assertNoReverseDomination panics if a newly accepted solution
+// precedes an already-accepted one at the same vertex in the heap
+// order. Pop order makes this impossible: acceptance happens in pop
+// order, so every earlier accept is heap-<= the new one. (Full
+// dominance can still point backwards — Peak is a dominance dimension
+// the heap order deliberately ignores — so only the heap-ordered
+// dimensions are asserted.)
+func assertNoReverseDomination(m Mode, list []solution, s *Sig) {
+	for i := range list {
+		if heapLess(m, s, &list[i].sig) {
+			panic(fmt.Sprintf(
+				"replassert: accepted solution precedes already-accepted entry %d in heap order", i))
+		}
+	}
+}
+
+// assertFrontier panics unless the root frontier is sorted by the heap
+// order and — for a fixed root, where all solutions share one vertex —
+// pairwise non-dominated. A free root keeps per-vertex curves, so
+// cross-vertex domination is legitimate there and only the sort is
+// checked.
+func assertFrontier(m Mode, frontier []FrontierSol, crossVertex bool) {
+	for i := 1; i < len(frontier); i++ {
+		if heapLess(m, &frontier[i].Sig, &frontier[i-1].Sig) {
+			panic(fmt.Sprintf("replassert: frontier not sorted at index %d", i))
+		}
+	}
+	if crossVertex {
+		return
+	}
+	for i := range frontier {
+		for j := range frontier {
+			if i != j && dominates(m, &frontier[i].Sig, &frontier[j].Sig) {
+				panic(fmt.Sprintf(
+					"replassert: frontier entry %d dominates entry %d", i, j))
+			}
+		}
+	}
+}

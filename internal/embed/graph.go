@@ -79,6 +79,7 @@ func (g *Graph) AddEdge(from, to Vertex, cost, delay float64) {
 	if g.cost == nil {
 		g.cost = make(map[uint64]float64)
 	}
+	//replint:ignore floatcmp -- zero is the absent-entry sentinel; edge costs are positive and stored, never accumulated
 	if k := edgeKey(from, to); g.cost[k] == 0 {
 		g.cost[k] = cost // edge costs are positive, so 0 means absent
 	}

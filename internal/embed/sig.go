@@ -106,7 +106,10 @@ func newLeafSig(m Mode, arr float64, critical bool) Sig {
 }
 
 // lexLess compares arrival vectors lexicographically over the first
-// depth entries.
+// depth entries. Both vectors come from identical operation sequences,
+// so exact ties are the intended total-order semantics.
+//
+//replint:floatcmp-helper
 func lexLess(a, b *Sig, depth int) bool {
 	for i := 0; i < depth; i++ {
 		if a.D[i] != b.D[i] {
@@ -153,7 +156,10 @@ func dominates(m Mode, a, b *Sig) bool {
 // order every pop is final exactly as in scalar Dijkstra: anything
 // popped later at the same vertex has no smaller cost and no smaller
 // arrival, so the dominance test against already-accepted solutions is
-// sound.
+// sound. Exact cost ties fall through to the lexicographic tie-break:
+// bitwise equality is the deterministic heap-order semantics.
+//
+//replint:floatcmp-helper
 func heapLess(m Mode, a, b *Sig) bool {
 	if a.Cost != b.Cost {
 		return a.Cost < b.Cost

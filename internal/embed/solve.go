@@ -106,7 +106,7 @@ type solverScratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(solverScratch) }}
 
-func getScratch() *solverScratch  { return scratchPool.Get().(*solverScratch) }
+func getScratch() *solverScratch   { return scratchPool.Get().(*solverScratch) }
 func putScratch(sc *solverScratch) { scratchPool.Put(sc) }
 
 // Solve runs the embedding DP of Fig. 6 and returns the root tradeoff
@@ -263,6 +263,9 @@ func (r *Result) finish(workers int) (*Result, error) {
 		// paths, so every (already per-vertex non-dominated) solution
 		// is kept.
 		r.Frontier = all
+		if assertEnabled {
+			assertFrontier(p.Mode, r.Frontier, true)
+		}
 		return r, nil
 	}
 	for _, f := range all {
@@ -276,6 +279,9 @@ func (r *Result) finish(workers int) (*Result, error) {
 		if !dominated {
 			r.Frontier = append(r.Frontier, f)
 		}
+	}
+	if assertEnabled {
+		assertFrontier(p.Mode, r.Frontier, false)
 	}
 	return r, nil
 }
@@ -382,7 +388,12 @@ func (r *Result) joinParallel(id NodeID, pool *[]int32, seeds []queueItem, worke
 					hi = nv
 				}
 				var sp []int32
+				// Chunk indices come from the atomic counter: each
+				// worker claims a distinct ci, so the outs entries
+				// written here are disjoint across workers.
+				//replint:ignore sharedwrite -- ci is claimed via next.Add; workers own disjoint outs entries
 				outs[ci].seeds = r.joinSpan(id, lo, hi, nil, &sp, nil, sc)
+				//replint:ignore sharedwrite -- ci is claimed via next.Add; workers own disjoint outs entries
 				outs[ci].pool = sp
 			}
 		}()
@@ -465,7 +476,11 @@ type stairStep struct {
 func pruneCombos(m Mode, in []combo, sc *solverScratch) []combo {
 	sort.Slice(in, func(i, j int) bool { return heapLess(m, &in[i].sig, &in[j].sig) })
 	if m.lexDepth() == 1 && !m.MC && !m.loadDependent() && !m.OverlapControl {
-		return pruneCombos2D(in, sc)
+		out := pruneCombos2D(in, sc)
+		if assertEnabled {
+			assertNonDominatedCombos(m, out)
+		}
+		return out
 	}
 	out := in[:0]
 	for i := range in {
@@ -479,6 +494,9 @@ func pruneCombos(m Mode, in []combo, sc *solverScratch) []combo {
 		if !dominated {
 			out = append(out, in[i])
 		}
+	}
+	if assertEnabled {
+		assertNonDominatedCombos(m, out)
 	}
 	return out
 }
@@ -517,6 +535,9 @@ func pruneCombos2D(in []combo, sc *solverScratch) []combo {
 			stair = append(stair[:pos+1], stair[j:]...)
 		}
 	}
+	if assertEnabled {
+		assertStaircase(stair)
+	}
 	sc.stair = stair[:0]
 	return out
 }
@@ -538,8 +559,14 @@ func (r *Result) runWavefront(id NodeID, sc *solverScratch) {
 	ns := &r.sols[id]
 	h := waveHeap{mode: p.Mode, items: sc.items}
 	h.init()
+	var lastPop Sig
+	havePop := false
 	for len(h.items) > 0 {
 		it := h.pop()
+		if assertEnabled {
+			assertWaveOrder(p.Mode, &lastPop, havePop, &it.sol.sig)
+			lastPop, havePop = it.sol.sig, true
+		}
 		v := it.vertex
 		if !r.accept(ns, v, it.sol) {
 			continue
@@ -582,6 +609,9 @@ func (r *Result) accept(ns *nodeSols, v Vertex, s solution) bool {
 		if s.sig.D[0] >= best-r.p.DelayQuantum {
 			return false
 		}
+	}
+	if assertEnabled {
+		assertNoReverseDomination(r.p.Mode, list, &s.sig)
 	}
 	ns.at[v] = append(list, s)
 	return true

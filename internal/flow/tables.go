@@ -76,6 +76,7 @@ func FormatTableII(byAlgo map[Algorithm][]*Result, algos []Algorithm) string {
 		{"large avg", func(a, s, l [4]float64) [4]float64 { return l }},
 	} {
 		first := row.pick(Averages(byAlgo[algos[0]]))
+		//replint:ignore floatcmp -- the average of an empty size class is exactly zero; zero is the no-data sentinel
 		if first[0] == 0 {
 			continue // no circuits in this size class
 		}

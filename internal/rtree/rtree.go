@@ -125,6 +125,7 @@ func (t *RTree) markCriticalInput(spt *timing.SPT) {
 	bestPT := 0.0
 	for i := range t.Nodes {
 		n := &t.Nodes[i]
+		//replint:ignore floatcmp -- leaf arrivals are assigned exactly zero at construction, never computed
 		if !n.IsLeaf() || n.Arr != 0 {
 			continue
 		}
@@ -132,6 +133,7 @@ func (t *RTree) markCriticalInput(spt *timing.SPT) {
 		if !ok {
 			continue
 		}
+		//replint:ignore floatcmp -- exact tie on PathThrough breaks to the lowest cell ID; bitwise equality is the tie-break semantics
 		if bestIdx < 0 || pt > bestPT || (pt == bestPT && n.Cell < t.Nodes[bestIdx].Cell) {
 			bestIdx, bestPT = i, pt
 		}

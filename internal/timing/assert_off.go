@@ -1,0 +1,15 @@
+//go:build !replassert
+
+package timing
+
+import (
+	"repro/internal/arch"
+	"repro/internal/netlist"
+)
+
+// assertEnabled is false in the default build; the constant-false
+// guard at the call site removes the re-derivation entirely. Build
+// with -tags replassert to turn it on.
+const assertEnabled = false
+
+func assertArrivalMonotone(*netlist.Netlist, WireDelayFunc, arch.DelayModel, *Analysis) {}

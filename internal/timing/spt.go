@@ -100,9 +100,16 @@ func (s *SPT) Epsilon(eps float64) map[netlist.CellID]bool {
 
 // Children inverts the parent relation over a node subset, returning
 // each member's tree children in deterministic (ascending ID) order.
+// Members are visited in sorted-ID order, so each child list comes out
+// ascending by construction — no map-order dependence, no per-key sort.
 func (s *SPT) Children(members map[netlist.CellID]bool) map[netlist.CellID][]netlist.CellID {
-	ch := make(map[netlist.CellID][]netlist.CellID)
+	ids := make([]netlist.CellID, 0, len(members))
 	for u := range members {
+		ids = append(ids, u)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ch := make(map[netlist.CellID][]netlist.CellID)
+	for _, u := range ids {
 		if u == s.Sink {
 			continue
 		}
@@ -110,9 +117,6 @@ func (s *SPT) Children(members map[netlist.CellID]bool) map[netlist.CellID][]net
 		if members[p] {
 			ch[p] = append(ch[p], u)
 		}
-	}
-	for _, kids := range ch {
-		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
 	}
 	return ch
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/arch"
@@ -272,6 +273,9 @@ func AnalyzeCustomWorkers(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.Del
 	if math.IsInf(a.Period, -1) {
 		return nil, fmt.Errorf("timing: netlist %s has no timing sinks", nl.Name)
 	}
+	if assertEnabled {
+		assertArrivalMonotone(nl, wireOf, dm, a)
+	}
 	return a, nil
 }
 
@@ -417,7 +421,16 @@ func LowerBound(nl *netlist.Netlist, pl Locator, dm arch.DelayModel, sink netlis
 	depth := minLogicDepth(nl, sink)
 	sc := nl.Cell(sink)
 	bound := 0.0
-	for u, d := range depth {
+	// Sorted cone iteration: max over the cone is order-independent
+	// mathematically, but keeping every ordered reduction on a sorted
+	// sequence is the invariant replint's maprange rule enforces.
+	cone := make([]netlist.CellID, 0, len(depth))
+	for u := range depth {
+		cone = append(cone, u)
+	}
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+	for _, u := range cone {
+		d := depth[u]
 		uc := nl.Cell(u)
 		if !uc.IsSource() && uc.Kind != netlist.IPad {
 			continue
