@@ -5,7 +5,14 @@ GO ?= go
 BENCH ?= ^(BenchmarkEmbed|BenchmarkSTA)
 BENCHTIME ?= 1s
 
-.PHONY: build test race vet lint assert check bench clean
+# repld daemon defaults for `make serve` / `make loadtest`.
+ADDR ?= :8080
+WORKERS ?= 2
+QUEUE ?= 64
+JOBS ?= 50
+CONCURRENCY ?= 8
+
+.PHONY: build test race vet lint assert serve-race check bench serve loadtest clean
 
 build:
 	$(GO) build ./...
@@ -33,15 +40,32 @@ lint:
 assert:
 	$(GO) test -tags replassert ./internal/embed/... ./internal/timing/...
 
-# The full gate, in CI order: compile, vet, lint, plain tests, the
-# asserting build, then the race suite.
-check: build vet lint test assert race
+# The service layer is concurrency-dense (worker pool, drain, shared
+# counters), so its tests always run under the race detector — without
+# -short, unlike the repo-wide race sweep.
+serve-race:
+	$(GO) test -race -count 1 ./internal/serve/...
+	$(GO) test -race -count 1 -run TestRunContext ./internal/core/
+
+# The full gate, in CI order: compile, vet, lint (incl. internal/serve),
+# plain tests, the asserting build, the race suite, then the service
+# race suite.
+check: build vet lint test assert race serve-race
 
 # Runs the embedder/STA micro-benchmarks and records machine-readable
 # results in BENCH_embed.json (text copy in BENCH_embed.txt).
 bench: build
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem . | tee BENCH_embed.txt
 	$(GO) run ./cmd/benchjson < BENCH_embed.txt > BENCH_embed.json
+
+# Run the replication daemon locally (Ctrl-C / SIGTERM drains).
+serve: build
+	$(GO) run ./cmd/repld -addr $(ADDR) -workers $(WORKERS) -queue $(QUEUE)
+
+# Load-test a running daemon: JOBS jobs at CONCURRENCY in-flight, with
+# latency percentiles and a determinism cross-check.
+loadtest:
+	$(GO) run ./cmd/replload -addr http://localhost$(ADDR) -n $(JOBS) -concurrency $(CONCURRENCY)
 
 clean:
 	rm -f BENCH_embed.txt BENCH_embed.json

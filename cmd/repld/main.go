@@ -1,0 +1,79 @@
+// Command repld serves placement-coupled logic replication as a
+// service: an HTTP/JSON daemon running replication jobs (synthetic
+// suite circuits or inline netlists) through place → replicate →
+// (optional) route on a bounded worker pool.
+//
+//	repld -addr :8080 -workers 4 -queue 64
+//
+// Submit with curl:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"circuit":"ex5p","algo":"lex3"}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//
+// SIGTERM/SIGINT drains gracefully: submissions are rejected, in-flight
+// jobs get -drain-timeout to finish, then their contexts are cancelled
+// (the engine stops promptly) and the jobs are reported cancelled.
+// Introspection: /debug/vars (counters), /debug/pprof/ (profiles).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "concurrent job limit")
+		queue        = flag.Int("queue", 64, "queued-job bound (full queue returns 429)")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job timeout")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Minute, "cap on per-job requested timeouts")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	m := serve.NewManager(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	srv := serve.NewServer(m)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("repld: listening on %s (workers %d, queue %d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("repld: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("repld: shutdown signal; draining (up to %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting HTTP first, then drain the job queue under the
+	// same deadline; Shutdown returns only when every worker exited.
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("repld: http shutdown: %v", err)
+	}
+	m.Shutdown(drainCtx)
+	c := m.Counters()
+	fmt.Printf("repld: drained — %d completed, %d failed, %d cancelled, %d rejected\n",
+		c.JobsCompleted, c.JobsFailed, c.JobsCancelled, c.JobsRejectedFull+c.JobsRejectedDrain)
+}

@@ -1,0 +1,259 @@
+// Command replload load-tests a repld daemon: it fires N replication
+// jobs at bounded concurrency, retries queue rejections with backoff,
+// and reports latency percentiles, throughput, rejection counts, and a
+// determinism cross-check (identical specs must produce bit-identical
+// optimized periods).
+//
+//	repld -addr :8080 &
+//	replload -n 50 -concurrency 8 -circuit ex5p -scale 0.1
+//
+// Exit status is 1 when any non-rejected job fails or determinism is
+// violated.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "repld base URL")
+		n           = flag.Int("n", 50, "total jobs to submit")
+		concurrency = flag.Int("concurrency", 8, "concurrent in-flight jobs")
+		circuit     = flag.String("circuit", "ex5p", "suite circuit per job")
+		scale       = flag.Float64("scale", 0.1, "circuit size multiplier")
+		algo        = flag.String("algo", "rt", "algorithm per job")
+		maxIters    = flag.Int("max-iters", 10, "engine iteration cap per job (0 = engine default)")
+		route       = flag.Bool("route", false, "route each job after optimization")
+		timeoutMS   = flag.Int("timeout-ms", 0, "per-job timeout (0 = server default)")
+		varySeed    = flag.Bool("vary-seed", false, "give each job a distinct placement seed (disables the determinism check)")
+		poll        = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
+		wait        = flag.Duration("wait", 10*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *wait)
+	defer cancel()
+
+	lg := &loadgen{
+		c:        client.New(*addr),
+		poll:     *poll,
+		varySeed: *varySeed,
+		results:  make([]outcome, *n),
+		work:     make(chan int),
+		spec: serve.JobSpec{
+			Circuit:   *circuit,
+			Scale:     *scale,
+			Algo:      *algo,
+			MaxIters:  *maxIters,
+			Route:     *route,
+			TimeoutMS: *timeoutMS,
+		},
+	}
+
+	if _, err := lg.c.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "replload: cannot reach %s: %v\n", *addr, err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	done := make(chan struct{})
+	workers := *concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		go lg.worker(ctx, done)
+	}
+	for i := 0; i < *n; i++ {
+		lg.work <- i
+	}
+	close(lg.work)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	wall := time.Since(start)
+
+	ok := report(lg.results, wall, !*varySeed)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// outcome records one job's fate from the client's point of view.
+type outcome struct {
+	state      serve.State
+	latency    time.Duration // submit-accepted → terminal
+	rejections int           // 429s absorbed before acceptance
+	err        string
+	// periodBits is the optimized period's bit pattern, for the exact
+	// determinism cross-check.
+	periodBits uint64
+	iterations int
+}
+
+// loadgen drives the job stream. Workers claim indices from work and
+// write only results[idx] — disjoint slots, no lock needed.
+type loadgen struct {
+	c        *client.Client
+	spec     serve.JobSpec
+	poll     time.Duration
+	varySeed bool
+	work     chan int
+	results  []outcome
+}
+
+func (lg *loadgen) worker(ctx context.Context, done chan<- struct{}) {
+	for idx := range lg.work {
+		lg.results[idx] = lg.runJob(ctx, idx)
+	}
+	done <- struct{}{}
+}
+
+// runJob submits one job (retrying queue rejections with backoff,
+// counting them) and waits for its terminal state.
+func (lg *loadgen) runJob(ctx context.Context, idx int) outcome {
+	spec := lg.spec
+	if lg.varySeed {
+		spec.Seed = int64(idx + 1)
+	}
+	var out outcome
+	backoff := 50 * time.Millisecond
+	var st serve.Status
+	for {
+		var err error
+		st, err = lg.c.Submit(ctx, spec)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, client.ErrQueueFull) {
+			// Backpressure is the server doing its job; absorb it and
+			// count it.
+			out.rejections++
+			select {
+			case <-ctx.Done():
+				out.state = serve.StateFailed
+				out.err = "deadline while backing off from 429"
+				return out
+			case <-time.After(backoff):
+			}
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		out.state = serve.StateFailed
+		out.err = "submit: " + err.Error()
+		return out
+	}
+	t0 := time.Now()
+	fin, err := lg.c.Wait(ctx, st.ID, lg.poll)
+	out.latency = time.Since(t0)
+	if err != nil {
+		out.state = serve.StateFailed
+		out.err = "wait: " + err.Error()
+		return out
+	}
+	out.state = fin.State
+	out.err = fin.Error
+	if fin.Result != nil {
+		out.periodBits = math.Float64bits(fin.Result.OptimizedPeriod)
+		out.iterations = fin.Result.Iterations
+	}
+	return out
+}
+
+// report prints the summary and returns false on failures or broken
+// determinism.
+func report(results []outcome, wall time.Duration, checkDeterminism bool) bool {
+	var completed, failed, cancelled, rejections int
+	var lats []float64
+	for i := range results {
+		r := &results[i]
+		rejections += r.rejections
+		switch r.state {
+		case serve.StateDone:
+			completed++
+			lats = append(lats, r.latency.Seconds())
+		case serve.StateCancelled:
+			cancelled++
+		default:
+			failed++
+		}
+	}
+	fmt.Printf("jobs: %d total, %d completed, %d cancelled, %d failed; %d queue rejections absorbed\n",
+		len(results), completed, cancelled, failed, rejections)
+	fmt.Printf("wall: %.2fs, throughput %.2f jobs/s\n",
+		wall.Seconds(), float64(completed)/wall.Seconds())
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		mean := 0.0
+		for _, l := range lats {
+			mean += l
+		}
+		mean /= float64(len(lats))
+		fmt.Printf("latency: mean %.0fms  p50 %.0fms  p90 %.0fms  p99 %.0fms  max %.0fms\n",
+			mean*1e3, pctl(lats, 50)*1e3, pctl(lats, 90)*1e3, pctl(lats, 99)*1e3,
+			lats[len(lats)-1]*1e3)
+	}
+	for i := range results {
+		if results[i].state == serve.StateFailed {
+			fmt.Printf("  FAILED job %d: %s\n", i, results[i].err)
+		}
+	}
+	ok := failed == 0
+	if checkDeterminism && completed > 1 {
+		// All jobs ran the identical spec: every completed one must
+		// report the bit-identical optimized period and iteration
+		// count, or the engine's determinism contract broke somewhere
+		// between the queue and the wavefront.
+		var refBits uint64
+		refIters, have := 0, false
+		mismatches := 0
+		for i := range results {
+			r := &results[i]
+			if r.state != serve.StateDone {
+				continue
+			}
+			if !have {
+				refBits, refIters, have = r.periodBits, r.iterations, true
+				continue
+			}
+			if r.periodBits != refBits || r.iterations != refIters {
+				mismatches++
+			}
+		}
+		if mismatches > 0 {
+			fmt.Printf("DETERMINISM VIOLATION: %d job(s) disagree with the reference result\n", mismatches)
+			ok = false
+		} else {
+			fmt.Printf("determinism: %d identical jobs, bit-identical results\n", completed)
+		}
+	}
+	return ok
+}
+
+// pctl returns the p-th percentile (nearest-rank) of sorted values.
+func pctl(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

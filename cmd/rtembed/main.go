@@ -29,7 +29,7 @@ func main() {
 	var (
 		circuit     = flag.String("circuit", "", "suite circuit name (e.g. ex5p)")
 		netlistPath = flag.String("netlist", "", "path to a netlist file (text format)")
-		algo        = flag.String("algo", "rt", "algorithm: vpr | local | rt | lexmc | lex2..lex5")
+		algo        = flag.String("algo", "rt", "algorithm: "+strings.Join(flow.AlgorithmNames(), " | "))
 		scale       = flag.Float64("scale", 0.2, "suite circuit size multiplier")
 		effort      = flag.Float64("effort", 2, "placer effort")
 		seed        = flag.Int64("seed", 1, "random seed")
@@ -41,9 +41,14 @@ func main() {
 	)
 	flag.Parse()
 
-	algorithm, ok := parseAlgo(*algo)
+	// Reject an unknown algorithm before any placement work starts:
+	// the name set is shared with repld via flow.ParseAlgorithm.
+	algorithm, ok := flow.ParseAlgorithm(*algo)
 	if !ok {
-		fatalf("unknown algorithm %q", *algo)
+		fmt.Fprintf(os.Stderr, "rtembed: unknown algorithm %q (valid: %s)\n",
+			*algo, strings.Join(flow.AlgorithmNames(), ", "))
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	cfg := flow.Defaults()
@@ -175,28 +180,6 @@ func main() {
 		out.Close()
 		fmt.Printf("wrote optimized netlist to %s\n", *outPath)
 	}
-}
-
-func parseAlgo(s string) (flow.Algorithm, bool) {
-	switch strings.ToLower(s) {
-	case "vpr":
-		return flow.VPRBaseline, true
-	case "local":
-		return flow.LocalRep, true
-	case "rt":
-		return flow.RTEmbed, true
-	case "lexmc":
-		return flow.LexMC, true
-	case "lex2":
-		return flow.Lex2, true
-	case "lex3":
-		return flow.Lex3, true
-	case "lex4":
-		return flow.Lex4, true
-	case "lex5":
-		return flow.Lex5, true
-	}
-	return 0, false
 }
 
 func fatalf(format string, args ...any) {

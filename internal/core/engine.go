@@ -9,10 +9,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/embed"
@@ -122,6 +124,25 @@ type IterStat struct {
 	Unified    int // cumulative cells removed by unification
 }
 
+// PhaseTimes accumulates wall-clock seconds per engine phase across a
+// run. The split follows the Fig. 11 loop: STA (analyze), ε-SPT /
+// replication-tree construction (extract), the embedding DP plus
+// solution selection (embed), netlist+placement mutation and
+// unification (apply), and timing-driven legalization (legalize).
+// Serving layers surface these as per-job breakdowns.
+type PhaseTimes struct {
+	Analyze  float64 `json:"analyze"`
+	Extract  float64 `json:"extract"`
+	Embed    float64 `json:"embed"`
+	Apply    float64 `json:"apply"`
+	Legalize float64 `json:"legalize"`
+}
+
+// Total sums all phase timings.
+func (p PhaseTimes) Total() float64 {
+	return p.Analyze + p.Extract + p.Embed + p.Apply + p.Legalize
+}
+
 // Stats summarizes an engine run.
 type Stats struct {
 	Iterations    int
@@ -134,6 +155,8 @@ type Stats struct {
 	// StoppedEarly notes termination due to exhausted free slots, the
 	// condition the paper reports for ex5p, apex4, seq, spla, ex1010.
 	StoppedEarly bool
+	// Phases breaks the run's wall time down by engine phase.
+	Phases PhaseTimes
 }
 
 // Engine drives placement-coupled replication on one design.
@@ -144,6 +167,11 @@ type Engine struct {
 	Config    Config
 
 	leg *legal.Legalizer
+
+	// ctx and phases are live only inside RunContext: the run's
+	// cancellation context and the Stats phase accumulator.
+	ctx    context.Context
+	phases *PhaseTimes
 
 	eps        float64
 	lastSink   netlist.CellID
@@ -169,7 +197,21 @@ func New(nl *netlist.Netlist, pl *placement.Placement, dm arch.DelayModel, cfg C
 // Run executes the optimization loop and leaves the engine's netlist
 // and placement at the best solution encountered.
 func (e *Engine) Run() (*Stats, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: cancellation (deadline or caller
+// cancel) is checked at every iteration boundary and threaded into the
+// STA and the embedding DP, so a cancelled run stops promptly even in
+// the middle of a large wavefront instead of orphaning its workers.
+// On cancellation it returns (nil, ctx.Err()); the engine's netlist
+// and placement are left at a consistent (pre-iteration or
+// best-snapshot) state but should be considered abandoned.
+func (e *Engine) RunContext(ctx context.Context) (*Stats, error) {
 	st := &Stats{}
+	e.ctx = ctx
+	e.phases = &st.Phases
+	defer func() { e.ctx, e.phases = nil, nil }()
 	a, err := e.analyze()
 	if err != nil {
 		return nil, err
@@ -181,6 +223,9 @@ func (e *Engine) Run() (*Stats, error) {
 	dry := 0
 	improvedLast := true
 	for iter := 0; iter < e.Config.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		preNL, prePL, prePeriod := e.Netlist, e.Placement, a.Period
 		e.Netlist = preNL.Clone()
 		e.Placement = prePL.Clone()
@@ -257,9 +302,25 @@ func (e *Engine) Run() (*Stats, error) {
 }
 
 // analyze runs STA over the engine's current state with the
-// configured worker count.
+// configured worker count, under the run's context.
 func (e *Engine) analyze() (*timing.Analysis, error) {
-	return timing.AnalyzeWorkers(e.Netlist, e.Placement, e.Delay, e.Config.Parallelism)
+	ctx := e.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer e.timePhase(func(p *PhaseTimes) *float64 { return &p.Analyze })()
+	return timing.AnalyzeWorkersCtx(ctx, e.Netlist, e.Placement, e.Delay, e.Config.Parallelism)
+}
+
+// timePhase starts a wall-clock measurement charged to the phase field
+// selected by sel; the returned func stops it. No-op outside a run.
+func (e *Engine) timePhase(sel func(*PhaseTimes) *float64) func() {
+	if e.phases == nil {
+		return func() {}
+	}
+	acc := sel(e.phases)
+	t0 := time.Now()
+	return func() { *acc += time.Since(t0).Seconds() }
 }
 
 // snapshot saves the current netlist and placement as the best seen.
@@ -306,19 +367,23 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 		e.eps = 0
 	}
 
+	stopExtract := e.timePhase(func(p *PhaseTimes) *float64 { return &p.Extract })
 	spt := timing.BuildSPT(e.Netlist, e.Placement, e.Delay, a, sink)
 	members := spt.Epsilon(e.eps)
 	e.trimMembers(spt, members)
 	rt, err := rtree.Build(e.Netlist, a, spt, members)
 	if err != nil {
+		stopExtract()
 		return false, fmt.Errorf("core: %w", err)
 	}
 	if rt.Internal == 0 && !rootFree {
+		stopExtract()
 		return false, nil // nothing movable on this path
 	}
 
 	g := e.buildWindow(rt, rootFree)
 	ep, err := rt.ToEmbedProblem(g, e.Netlist, e.Placement, e.Delay, rootFree)
+	stopExtract()
 	if err != nil {
 		return false, fmt.Errorf("core: %w", err)
 	}
@@ -331,8 +396,17 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 		DelayQuantum: e.Config.DelayQuantumFrac * a.Period,
 		Parallelism:  e.Config.Parallelism,
 	}
-	res, err := prob.Solve()
+	ctx := e.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stopEmbed := e.timePhase(func(p *PhaseTimes) *float64 { return &p.Embed })
+	res, err := prob.SolveContext(ctx)
 	if err != nil {
+		stopEmbed()
+		if cerr := ctx.Err(); cerr != nil {
+			return false, cerr // cancelled mid-DP, not an infeasible window
+		}
 		return false, nil // window infeasible; ε will grow
 	}
 	// Selection bound: the cheapest solution faster than both the
@@ -343,6 +417,7 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 		var ok bool
 		sel, ok = e.selectRelocation(res, g, sink, a)
 		if !ok {
+			stopEmbed()
 			return false, nil
 		}
 	} else {
@@ -360,15 +435,19 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 			sel = e.refineLex(res, sel)
 		}
 		if sel.Sig.D[0] > a.SinkArr[sink]+1e-9 {
+			stopEmbed()
 			return false, nil // embedder cannot beat the status quo
 		}
 	}
 
 	emb := res.Extract(sel)
+	stopEmbed()
 	if coreDebug {
 		fmt.Printf("DBG selected cost %.1f D0 %.1f (sink arr %.1f, bound path)\n", sel.Sig.Cost, sel.Sig.D[0], a.SinkArr[sink])
 	}
+	stopApply := e.timePhase(func(p *PhaseTimes) *float64 { return &p.Apply })
 	reps := e.apply(rt, ep, g, emb, sel, st)
+	stopApply()
 	if coreDebug {
 		ax, _ := e.analyze()
 		fmt.Printf("DBG after apply: period %.1f sinkArr %.1f\n", ax.Period, ax.SinkArr[sink])
@@ -382,7 +461,9 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 	if err != nil {
 		return false, err
 	}
+	stopApply = e.timePhase(func(p *PhaseTimes) *float64 { return &p.Apply })
 	e.postUnify(a2, reps, st)
+	stopApply()
 	if coreDebug {
 		ax, _ := e.analyze()
 		fmt.Printf("DBG after unify: period %.1f sinkArr %.1f\n", ax.Period, ax.SinkArr[sink])
@@ -394,7 +475,9 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 	if err != nil {
 		return false, err
 	}
+	stopLegal := e.timePhase(func(p *PhaseTimes) *float64 { return &p.Legalize })
 	lst, lerr := e.leg.Run(e.Netlist, e.Placement, e.Delay, a3)
+	stopLegal()
 	if coreDebug {
 		ax, _ := e.analyze()
 		fmt.Printf("DBG after legal: period %.1f sinkArr %.1f moves %d unif %d\n", ax.Period, ax.SinkArr[sink], lst.Moves, lst.Unified)

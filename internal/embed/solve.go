@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -81,6 +82,33 @@ type Result struct {
 	p        *Problem
 	sols     []nodeSols
 	Frontier []FrontierSol
+
+	// ctx and aborted implement cooperative cancellation: workers poll
+	// the flag (set once ctx is done) at amortized intervals and bail
+	// out; the partial DP state is discarded and SolveContext returns
+	// ctx.Err(). Results are never partial: a run either completes
+	// bit-identically to the uncancelled one or fails with the
+	// context's error.
+	ctx     context.Context
+	aborted atomic.Bool
+}
+
+// ctxCheckStride amortizes ctx.Err polls over this many wavefront pops
+// or join vertices per worker; the flag check between strides is a
+// single atomic load.
+const ctxCheckStride = 512
+
+// cancelled polls the context (amortized by the caller) and latches the
+// abort flag so sibling workers stop at their next stride boundary.
+func (r *Result) cancelled() bool {
+	if r.aborted.Load() {
+		return true
+	}
+	if r.ctx != nil && r.ctx.Err() != nil {
+		r.aborted.Store(true)
+		return true
+	}
+	return false
 }
 
 // FrontierSol is one point on the root tradeoff curve.
@@ -114,10 +142,18 @@ func putScratch(sc *solverScratch) { scratchPool.Put(sc) }
 // subtrees and join fan-outs run on a worker pool; the result is
 // bit-identical to the serial path.
 func (p *Problem) Solve() (*Result, error) {
+	return p.SolveContext(context.Background())
+}
+
+// SolveContext is Solve under a context: the DP polls for cancellation
+// at amortized intervals in the level scheduler, join fan-out, and
+// wavefront expansion, abandons the run, and returns ctx.Err(). All
+// worker goroutines exit before the call returns, cancelled or not.
+func (p *Problem) SolveContext(ctx context.Context) (*Result, error) {
 	if err := p.T.Validate(p.G.NumVertices()); err != nil {
 		return nil, err
 	}
-	r := &Result{p: p, sols: make([]nodeSols, len(p.T.Nodes))}
+	r := &Result{p: p, ctx: ctx, sols: make([]nodeSols, len(p.T.Nodes))}
 	for i := range r.sols {
 		r.sols[i].at = make([][]solution, p.G.NumVertices())
 	}
@@ -127,8 +163,8 @@ func (p *Problem) Solve() (*Result, error) {
 	} else {
 		sc := getScratch()
 		for _, id := range p.T.PostOrder() {
-			if id == p.T.Root {
-				break // handled in finish: the root is not propagated onward
+			if id == p.T.Root || r.cancelled() {
+				break // root is handled in finish; cancel abandons the DP
 			}
 			r.processNode(id, 1, sc)
 		}
@@ -142,6 +178,9 @@ func (p *Problem) Solve() (*Result, error) {
 // internal nodes, followed by the wavefront expansion. par > 1 shards
 // the join across vertex ranges.
 func (r *Result) processNode(id NodeID, par int, sc *solverScratch) {
+	if r.cancelled() {
+		return
+	}
 	n := &r.p.T.Nodes[id]
 	switch {
 	case n.IsLeaf():
@@ -187,6 +226,9 @@ func (r *Result) runLevels(workers int) {
 	}
 	sem := make(chan struct{}, workers)
 	for _, nodes := range levels {
+		if r.cancelled() {
+			return // later levels would only consume abandoned inputs
+		}
 		if len(nodes) == 1 {
 			sc := getScratch()
 			r.processNode(nodes[0], workers, sc)
@@ -214,6 +256,9 @@ func (r *Result) runLevels(workers int) {
 // non-dominated frontier. A fixed root joins at its vertex only; a
 // free root joins everywhere and the frontier spans all vertices.
 func (r *Result) finish(workers int) (*Result, error) {
+	if r.cancelled() {
+		return nil, r.ctx.Err()
+	}
 	p := r.p
 	rootNode := &p.T.Nodes[p.T.Root]
 	ns := &r.sols[p.T.Root]
@@ -232,6 +277,11 @@ func (r *Result) finish(workers int) (*Result, error) {
 	}
 	sc.items = seeds[:0]
 	putScratch(sc)
+	if r.cancelled() {
+		// The root join itself was cut short; its seed set may be
+		// partial, so the run fails rather than return a wrong curve.
+		return nil, r.ctx.Err()
+	}
 
 	// Collect the global non-dominated frontier.
 	var all []FrontierSol
@@ -337,6 +387,9 @@ func (r *Result) joinSpan(id NodeID, lo, hi int, list []Vertex, pool *[]int32, s
 		}
 	} else {
 		for v := lo; v < hi; v++ {
+			if (v-lo)%ctxCheckStride == 0 && r.cancelled() {
+				return seeds
+			}
 			join(Vertex(v))
 		}
 	}
@@ -561,7 +614,12 @@ func (r *Result) runWavefront(id NodeID, sc *solverScratch) {
 	h.init()
 	var lastPop Sig
 	havePop := false
+	pops := 0
 	for len(h.items) > 0 {
+		if pops%ctxCheckStride == 0 && r.cancelled() {
+			break // abandon this node's expansion; Solve will fail
+		}
+		pops++
 		it := h.pop()
 		if assertEnabled {
 			assertWaveOrder(p.Mode, &lastPop, havePop, &it.sol.sig)

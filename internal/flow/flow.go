@@ -10,6 +10,7 @@ package flow
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/circuits"
@@ -88,6 +89,50 @@ func (a Algorithm) Mode() embed.Mode {
 
 // EngineAlgorithms lists the Table III variants in paper order.
 var EngineAlgorithms = []Algorithm{RTEmbed, LexMC, Lex2, Lex3, Lex4, Lex5}
+
+// algoNames maps the user-facing algorithm names (CLI -algo values and
+// repld job specs) to algorithms. Every front end must resolve names
+// through ParseAlgorithm so the accepted vocabulary cannot drift
+// between tools.
+var algoNames = []struct {
+	name string
+	algo Algorithm
+}{
+	{"vpr", VPRBaseline},
+	{"local", LocalRep},
+	{"rt", RTEmbed},
+	{"lexmc", LexMC},
+	{"lex2", Lex2},
+	{"lex3", Lex3},
+	{"lex4", Lex4},
+	{"lex5", Lex5},
+}
+
+// ParseAlgorithm resolves a user-facing algorithm name
+// (case-insensitive). The empty string selects RTEmbed, the paper's
+// base algorithm; unknown names report ok=false.
+func ParseAlgorithm(s string) (Algorithm, bool) {
+	if s == "" {
+		return RTEmbed, true
+	}
+	ls := strings.ToLower(s)
+	for _, e := range algoNames {
+		if e.name == ls {
+			return e.algo, true
+		}
+	}
+	return 0, false
+}
+
+// AlgorithmNames returns the accepted algorithm names in canonical
+// order, for usage and error messages.
+func AlgorithmNames() []string {
+	out := make([]string, len(algoNames))
+	for i, e := range algoNames {
+		out[i] = e.name
+	}
+	return out
+}
 
 // Config tunes a flow run.
 type Config struct {

@@ -1,0 +1,103 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// seedCorpus returns netlist texts for the fuzzer's seed corpus: the
+// quickstart/reconvergence example circuits in text form plus malformed
+// variants of the shapes the parser must reject (duplicate names,
+// unknown signals, output-pad signals, truncated directives).
+func seedCorpus() []string {
+	return []string{
+		// examples/quickstart: the Fig. 1-2 diverging-paths circuit.
+		`circuit quickstart
+input a
+input e
+lut c a e
+lut u c
+lut v c
+output b u
+output d v
+`,
+		// examples/reconvergence: forward references and a registered
+		// boundary, the shapes that exercise deferred resolution.
+		`circuit reconv
+# comment line
+input x
+reg r x
+lut m1 x r
+lut m2 m1 joinv
+lut joinv m1 x
+output o m2
+`,
+		// examples/fanintree-like: multi-input LUTs and dashes for
+		// unconnected pins.
+		`circuit fanin
+input i0
+input i1
+input i2
+lut l0 i0 i1 - i2
+lut l1 l0 -
+output z l1
+`,
+		"circuit dup\ninput a\ninput a\n",
+		"lut a b\n",
+		"output o o\n",
+		"input\n",
+		"reg\n",
+		"bogus directive\n",
+		"circuit x y z\n",
+		"lut self self\n",
+	}
+}
+
+// FuzzParseNetlist asserts the parser's hard contract: on arbitrary
+// input, Read returns an error or a netlist that passes Validate — it
+// never panics. Netlists reach Read straight off HTTP request bodies
+// in repld, where a parser panic would take down the whole daemon.
+func FuzzParseNetlist(f *testing.F) {
+	for _, seed := range seedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		nl, err := Read(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if verr := nl.Validate(); verr != nil {
+			t.Fatalf("parsed netlist fails Validate: %v\ninput:\n%s", verr, text)
+		}
+		// Round-trip: anything the parser accepts must serialize and
+		// re-parse to an equally valid netlist.
+		var sb strings.Builder
+		if werr := nl.Write(&sb); werr != nil {
+			t.Fatalf("write after parse: %v", werr)
+		}
+		nl2, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse of written netlist: %v\ntext:\n%s", err, sb.String())
+		}
+		if verr := nl2.Validate(); verr != nil {
+			t.Fatalf("round-tripped netlist fails Validate: %v", verr)
+		}
+	})
+}
+
+// TestReadRejectsDuplicateName pins the duplicate-cell-name fix: before
+// it, AddCell's programming-error panic escaped through Read.
+func TestReadRejectsDuplicateName(t *testing.T) {
+	for _, text := range []string{
+		"input a\ninput a\n",
+		"input a\nlut a b\n",
+		"lut a -\noutput a a\n",
+		"reg a -\nreg a -\n",
+	} {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("Read(%q) accepted a duplicate cell name", text)
+		} else if !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("Read(%q) error = %v, want duplicate-name error", text, err)
+		}
+	}
+}

@@ -78,6 +78,17 @@ func Read(r io.Reader) (*Netlist, error) {
 			continue
 		}
 		fields := strings.Fields(line)
+		// AddCell panics on duplicate names (a programming error when
+		// building netlists in code); on parser input a duplicate is a
+		// malformed file, so it must surface as an error. The parser's
+		// hard contract is error-never-panic: netlists arrive over
+		// HTTP in repld, where a panic would cost the whole process.
+		checkFresh := func(name string) error {
+			if _, dup := n.byName[name]; dup {
+				return fmt.Errorf("line %d: duplicate cell name %q", lineNo, name)
+			}
+			return nil
+		}
 		switch fields[0] {
 		case "circuit":
 			if len(fields) != 2 {
@@ -88,16 +99,25 @@ func Read(r io.Reader) (*Netlist, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("line %d: input takes one name", lineNo)
 			}
+			if err := checkFresh(fields[1]); err != nil {
+				return nil, err
+			}
 			n.AddCell(fields[1], IPad, 0)
 		case "output":
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("line %d: output takes name and signal", lineNo)
+			}
+			if err := checkFresh(fields[1]); err != nil {
+				return nil, err
 			}
 			c := n.AddCell(fields[1], OPad, 1)
 			deferred = append(deferred, pending{c.ID, 0, fields[2]})
 		case "lut", "reg":
 			if len(fields) < 2 {
 				return nil, fmt.Errorf("line %d: %s needs a name", lineNo, fields[0])
+			}
+			if err := checkFresh(fields[1]); err != nil {
+				return nil, err
 			}
 			ins := fields[2:]
 			c := n.AddCell(fields[1], LUT, len(ins))

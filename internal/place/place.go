@@ -11,6 +11,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,6 +53,13 @@ func Defaults() Options {
 
 // Place anneals a placement of nl onto f.
 func Place(nl *netlist.Netlist, f *arch.FPGA, opt Options) (*placement.Placement, error) {
+	return PlaceContext(context.Background(), nl, f, opt)
+}
+
+// PlaceContext is Place under cooperative cancellation: the annealer
+// polls ctx every ctxCheckStride moves and returns ctx.Err() with no
+// placement. An uncancelled run is bit-identical to Place.
+func PlaceContext(ctx context.Context, nl *netlist.Netlist, f *arch.FPGA, opt Options) (*placement.Placement, error) {
 	if nl.NumLUTs() > f.LogicCapacity() || nl.NumIOs() > f.IOCapacity() {
 		return nil, fmt.Errorf("place: %s does not fit on %v", nl.Name, f)
 	}
@@ -59,12 +67,17 @@ func Place(nl *netlist.Netlist, f *arch.FPGA, opt Options) (*placement.Placement
 		opt.Effort = 10
 	}
 	s := newState(nl, f, opt)
+	s.ctx = ctx
 	s.initialRandom()
 	if err := s.anneal(); err != nil {
 		return nil, err
 	}
 	return s.pl, nil
 }
+
+// ctxCheckStride amortizes the cancellation poll: one atomic-ish ctx
+// check per this many annealing moves.
+const ctxCheckStride = 1024
 
 // state carries one annealing run.
 type state struct {
@@ -73,6 +86,7 @@ type state struct {
 	pl  *placement.Placement
 	opt Options
 	rng *rand.Rand
+	ctx context.Context // non-nil via PlaceContext
 
 	luts []netlist.CellID
 	pads []netlist.CellID
@@ -228,6 +242,9 @@ func (s *state) anneal() error {
 		timingPrev := math.Max(s.timingTotal, 1e-9)
 		accepted := 0
 		for m := 0; m < movesPerTemp; m++ {
+			if m%ctxCheckStride == 0 && s.ctx != nil && s.ctx.Err() != nil {
+				return s.ctx.Err()
+			}
 			if s.tryMove(t, rlim, wirePrev, timingPrev) {
 				accepted++
 			}

@@ -1,0 +1,161 @@
+// Package client is the Go client for a repld daemon: submit jobs,
+// poll status, cancel, and wait for completion. cmd/replload builds
+// its load generator on it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Rejection errors. ErrQueueFull corresponds to HTTP 429 (backpressure
+// — retry later); ErrDraining to 503 (the daemon is shutting down).
+var (
+	ErrQueueFull = errors.New("client: queue full (429)")
+	ErrDraining  = errors.New("client: server draining (503)")
+)
+
+// Client talks to one repld daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s request timeout.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Submit enqueues a job and returns its initial status. A full queue
+// fails with ErrQueueFull, a draining daemon with ErrDraining.
+func (c *Client) Submit(ctx context.Context, spec serve.JobSpec) (serve.Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return serve.Status{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return serve.Status{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, http.StatusAccepted)
+}
+
+// Get fetches a job's status.
+func (c *Client) Get(ctx context.Context, id string) (serve.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return serve.Status{}, err
+	}
+	return c.do(req, http.StatusOK)
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (serve.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return serve.Status{}, err
+	}
+	return c.do(req, http.StatusOK)
+}
+
+// Wait polls until the job reaches a terminal state or ctx is done.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve.Status, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Run submits a job and waits for its terminal status.
+func (c *Client) Run(ctx context.Context, spec serve.JobSpec, poll time.Duration) (serve.Status, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return st, err
+	}
+	return c.Wait(ctx, st.ID, poll)
+}
+
+// Health fetches /healthz ("ok" or "draining").
+func (c *Client) Health(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", err
+	}
+	return doc.Status, nil
+}
+
+// do executes the request and decodes a Status, mapping the rejection
+// statuses to their sentinel errors.
+func (c *Client) do(req *http.Request, want int) (serve.Status, error) {
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return serve.Status{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case want:
+		var st serve.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return serve.Status{}, fmt.Errorf("client: decode response: %w", err)
+		}
+		return st, nil
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return serve.Status{}, ErrQueueFull
+	case http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return serve.Status{}, ErrDraining
+	default:
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return serve.Status{}, fmt.Errorf("client: %s %s: %s", req.Method, req.URL.Path, e.Error)
+	}
+}

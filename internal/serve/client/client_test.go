@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startDaemon spins up a full in-process repld stack with a stub
+// runner and returns a client pointed at it.
+func startDaemon(t *testing.T, cfg serve.Config) (*Client, *serve.Manager) {
+	t.Helper()
+	m := serve.NewManager(cfg)
+	ts := httptest.NewServer(serve.NewServer(m).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	return New(ts.URL), m
+}
+
+func instantRunner(_ context.Context, spec serve.JobSpec) (*serve.Result, error) {
+	return &serve.Result{Circuit: spec.Circuit, Iterations: 3}, nil
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c, _ := startDaemon(t, serve.Config{Workers: 1, Runner: instantRunner})
+	ctx := context.Background()
+
+	if h, err := c.Health(ctx); err != nil || h != "ok" {
+		t.Fatalf("Health = %q, %v", h, err)
+	}
+	st, err := c.Run(ctx, serve.JobSpec{Circuit: "ex5p"}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.State != serve.StateDone || st.Result == nil || st.Result.Iterations != 3 {
+		t.Fatalf("Run result = %+v", st)
+	}
+	got, err := c.Get(ctx, st.ID)
+	if err != nil || got.State != serve.StateDone {
+		t.Fatalf("Get after done: %+v, %v", got, err)
+	}
+}
+
+func TestClientQueueFullSentinel(t *testing.T) {
+	block := make(chan struct{})
+	c, _ := startDaemon(t, serve.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Runner: func(ctx context.Context, _ serve.JobSpec) (*serve.Result, error) {
+			select {
+			case <-block:
+				return &serve.Result{}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	defer close(block)
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, serve.JobSpec{Circuit: "ex5p"})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	// Wait for the worker to pick it up, then fill the single slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := c.Get(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if got.State == serve.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Submit(ctx, serve.JobSpec{Circuit: "ex5p"}); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if _, err := c.Submit(ctx, serve.JobSpec{Circuit: "ex5p"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestClientCancel(t *testing.T) {
+	c, _ := startDaemon(t, serve.Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, _ serve.JobSpec) (*serve.Result, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, serve.JobSpec{Circuit: "ex5p"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if fin.State != serve.StateCancelled {
+		t.Fatalf("state = %s, want cancelled", fin.State)
+	}
+}
+
+func TestClientErrorsAreDescriptive(t *testing.T) {
+	c, _ := startDaemon(t, serve.Config{Workers: 1, Runner: instantRunner})
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, serve.JobSpec{Circuit: "nonesuch"}); err == nil {
+		t.Fatal("bad circuit accepted")
+	}
+	if _, err := c.Get(ctx, "j999999"); err == nil {
+		t.Fatal("missing job did not error")
+	}
+}

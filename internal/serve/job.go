@@ -1,0 +1,152 @@
+// Package serve turns the replication engine into a long-running
+// service: a bounded FIFO job queue feeding a worker pool, with
+// per-job timeouts, cooperative cancellation threaded down into the
+// engine/embedder/STA, panic isolation, graceful drain, and
+// expvar-style introspection. cmd/repld is the HTTP front end;
+// internal/serve/client and cmd/replload drive it.
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+)
+
+// JobSpec describes one replication job. Exactly one of Circuit (a
+// synthetic suite circuit by name) or Netlist (inline text-format
+// netlist) selects the design; the rest tune the flow. The zero value
+// of every optional field selects a sane default, so a minimal job is
+// {"circuit":"ex5p"}.
+type JobSpec struct {
+	// Circuit names a synthetic suite circuit (circuits.ByName).
+	Circuit string `json:"circuit,omitempty"`
+	// Scale multiplies the suite circuit size (default 0.2; ignored
+	// with Netlist).
+	Scale float64 `json:"scale,omitempty"`
+	// Netlist is an inline netlist in the package text format.
+	Netlist string `json:"netlist,omitempty"`
+	// Algo is the optimization algorithm, in the shared
+	// flow.ParseAlgorithm vocabulary (default "rt").
+	Algo string `json:"algo,omitempty"`
+	// Seed drives placement (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Effort is the placer annealing effort (default 2).
+	Effort float64 `json:"effort,omitempty"`
+	// MaxIters caps engine iterations (default: engine default).
+	MaxIters int `json:"max_iters,omitempty"`
+	// Parallelism bounds engine/STA workers (default: all CPUs).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Route runs the low-stress router after optimization.
+	Route bool `json:"route,omitempty"`
+	// TimeoutMS caps the job's run time; 0 uses the manager default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// maxInlineNetlist bounds inline netlist text (16 MiB, matching the
+// parser's line-buffer cap) so a single request cannot exhaust memory.
+const maxInlineNetlist = 16 << 20
+
+// Validate rejects malformed specs up front, before the job consumes a
+// queue slot.
+func (s *JobSpec) Validate() error {
+	if (s.Circuit == "") == (s.Netlist == "") {
+		return fmt.Errorf("spec needs exactly one of circuit or netlist")
+	}
+	if s.Circuit != "" {
+		if _, ok := circuits.ByName(s.Circuit); !ok {
+			return fmt.Errorf("unknown circuit %q", s.Circuit)
+		}
+	}
+	if len(s.Netlist) > maxInlineNetlist {
+		return fmt.Errorf("inline netlist exceeds %d bytes", maxInlineNetlist)
+	}
+	if _, ok := flow.ParseAlgorithm(s.Algo); !ok {
+		return fmt.Errorf("unknown algorithm %q (valid: %s)",
+			s.Algo, strings.Join(flow.AlgorithmNames(), ", "))
+	}
+	if s.Scale < 0 || s.Scale > 1 {
+		return fmt.Errorf("scale %v out of range (0, 1]", s.Scale)
+	}
+	if s.TimeoutMS < 0 || s.MaxIters < 0 || s.Parallelism < 0 || s.Effort < 0 {
+		return fmt.Errorf("negative tuning field")
+	}
+	if s.Netlist != "" {
+		// Parse once at admission so syntax errors come back on the
+		// submit response, not as a failed job.
+		if _, err := netlist.Read(strings.NewReader(s.Netlist)); err != nil {
+			return fmt.Errorf("netlist: %w", err)
+		}
+	}
+	return nil
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle: Queued → Running → one of the terminal states
+// (Done, Failed, Cancelled). A queued job can go straight to
+// Cancelled without running.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Result is a completed job's outcome.
+type Result struct {
+	Circuit string `json:"circuit"`
+	Algo    string `json:"algo"`
+	LUTs    int    `json:"luts"`
+	IOs     int    `json:"ios"`
+	// PlacedPeriod / OptimizedPeriod are the placement-level STA clock
+	// periods before and after optimization.
+	PlacedPeriod    float64 `json:"placed_period"`
+	OptimizedPeriod float64 `json:"optimized_period"`
+	Iterations      int     `json:"iterations"`
+	Replicated      int     `json:"replicated"`
+	Unified         int     `json:"unified"`
+	FFRelocations   int     `json:"ff_relocations"`
+	StoppedEarly    bool    `json:"stopped_early,omitempty"`
+	// Phases is the engine's per-phase wall-clock breakdown.
+	Phases core.PhaseTimes `json:"phases"`
+	// Coarse per-stage seconds for the whole flow.
+	PlaceSeconds  float64 `json:"place_seconds"`
+	EngineSeconds float64 `json:"engine_seconds"`
+	RouteSeconds  float64 `json:"route_seconds,omitempty"`
+	// Routing results (Route jobs only).
+	RoutedCritPath float64 `json:"routed_crit_path,omitempty"`
+	ChannelWidth   int     `json:"channel_width,omitempty"`
+	WireLength     int     `json:"wire_length,omitempty"`
+}
+
+// Status is the externally visible job record, as served at
+// GET /v1/jobs/{id}.
+type Status struct {
+	ID    string  `json:"id"`
+	State State   `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	Error string  `json:"error,omitempty"`
+	// Position is the number of jobs ahead in the queue (queued only).
+	Position int `json:"position,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// QueueSeconds and RunSeconds split the job's latency.
+	QueueSeconds float64 `json:"queue_seconds"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+
+	Result *Result `json:"result,omitempty"`
+}

@@ -15,6 +15,7 @@
 package timing
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -98,6 +99,14 @@ func AnalyzeWorkers(nl *netlist.Netlist, pl Locator, dm arch.DelayModel, workers
 	return AnalyzeCustomWorkers(nl, ManhattanWire(pl, dm), dm, workers)
 }
 
+// AnalyzeWorkersCtx is AnalyzeWorkers with cooperative cancellation:
+// the pass checks ctx between levels (and periodically on the serial
+// path) and returns ctx.Err() once the context is done, so a cancelled
+// job stops paying for STA over a large netlist.
+func AnalyzeWorkersCtx(ctx context.Context, nl *netlist.Netlist, pl Locator, dm arch.DelayModel, workers int) (*Analysis, error) {
+	return AnalyzeCustomWorkersCtx(ctx, nl, ManhattanWire(pl, dm), dm, workers)
+}
+
 // AnalyzeCustom runs a full STA pass with an arbitrary per-connection
 // wire delay function, serially.
 func AnalyzeCustom(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel) (*Analysis, error) {
@@ -115,6 +124,21 @@ const minParallelLevel = 256
 // per-connection wire delay function on the given number of workers.
 // wireOf must be safe for concurrent calls when workers > 1.
 func AnalyzeCustomWorkers(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel, workers int) (*Analysis, error) {
+	return AnalyzeCustomWorkersCtx(context.Background(), nl, wireOf, dm, workers)
+}
+
+// ctxCheckStride is how many serial per-cell steps run between
+// cancellation checks; ctx.Err can take a lock, so the check is
+// amortized over a stride that still reacts within microseconds of
+// work.
+const ctxCheckStride = 4096
+
+// AnalyzeCustomWorkersCtx is AnalyzeCustomWorkers under a context.
+// Cancellation is cooperative and coarse-grained — between levelized
+// passes and every ctxCheckStride cells on the serial path — which
+// bounds the overhang to a fraction of one pass. A cancelled analysis
+// returns (nil, ctx.Err()) and never a partial Analysis.
+func AnalyzeCustomWorkersCtx(ctx context.Context, nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.DelayModel, workers int) (*Analysis, error) {
 	order, err := nl.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -238,25 +262,39 @@ func AnalyzeCustomWorkers(nl *netlist.Netlist, wireOf WireDelayFunc, dm arch.Del
 	}
 
 	if workers <= 1 || len(order) < minParallelCells {
-		for _, id := range order {
+		for i, id := range order {
+			if i%ctxCheckStride == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			forward(id)
 		}
 		for _, id := range regs {
 			regArr(id)
 		}
 		for i := len(order) - 1; i >= 0; i-- {
+			if i%ctxCheckStride == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			backward(order[i])
 		}
 	} else {
 		// Levelized parallel passes: all cells of one level depend
 		// only on cells of strictly earlier levels (later levels, for
 		// the backward pass), so each level fans out across workers.
+		// Cancellation is checked between levels: a level's workers
+		// always run to completion, so no goroutine outlives the call.
 		levels := levelize(nl, order)
 		for _, lv := range levels {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			runLevel(lv, workers, forward)
 		}
 		runLevel(regs, workers, regArr)
 		for i := len(levels) - 1; i >= 0; i-- {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			runLevel(levels[i], workers, backward)
 		}
 	}
