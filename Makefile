@@ -12,7 +12,13 @@ QUEUE ?= 64
 JOBS ?= 50
 CONCURRENCY ?= 8
 
-.PHONY: build test race vet lint assert serve-race check bench serve loadtest clean
+.PHONY: build test race vet lint assert oracle cover serve-race check bench serve loadtest clean
+
+# Coverage floor for the differentially-tested packages (per-package,
+# percent of statements). The oracle exists to exercise the embedder;
+# a coverage drop there means a check family silently stopped running.
+COVER_MIN ?= 80
+COVER_PKGS = ./internal/embed ./internal/oracle
 
 build:
 	$(GO) build ./...
@@ -40,6 +46,23 @@ lint:
 assert:
 	$(GO) test -tags replassert ./internal/embed/... ./internal/timing/...
 
+# The correctness oracle (internal/oracle): brute-force frontier
+# agreement against the embedding DP, functional-equivalence and
+# invariant checks on full engine runs, and the rename/translation
+# metamorphic suite. -short keeps it inside the `make check` budget;
+# drop it (or run cmd/replcheck) for the full sweep. The run doubles as
+# the coverage measurement for the `cover` gate (cover.out).
+oracle:
+	$(GO) test -short -count 1 -coverprofile=cover.out -coverpkg=./internal/embed/...,./internal/oracle/... $(COVER_PKGS)
+
+# Coverage gate: the differentially-tested packages must stay above
+# COVER_MIN% statement coverage, as measured by the oracle run.
+cover: oracle
+	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '\
+		/^total:/ { sub(/%/, "", $$3); \
+			if ($$3 + 0 < min) { printf "coverage %.1f%% below floor %d%%\n", $$3, min; exit 1 } \
+			else { printf "coverage %.1f%% (floor %d%%)\n", $$3, min } }'
+
 # The service layer is concurrency-dense (worker pool, drain, shared
 # counters), so its tests always run under the race detector — without
 # -short, unlike the repo-wide race sweep.
@@ -48,9 +71,9 @@ serve-race:
 	$(GO) test -race -count 1 -run TestRunContext ./internal/core/
 
 # The full gate, in CI order: compile, vet, lint (incl. internal/serve),
-# plain tests, the asserting build, the race suite, then the service
-# race suite.
-check: build vet lint test assert race serve-race
+# plain tests, the asserting build, the oracle + coverage gate, the
+# race suite, then the service race suite.
+check: build vet lint test assert cover race serve-race
 
 # Runs the embedder/STA micro-benchmarks and records machine-readable
 # results in BENCH_embed.json (text copy in BENCH_embed.txt).
@@ -68,4 +91,4 @@ loadtest:
 	$(GO) run ./cmd/replload -addr http://localhost$(ADDR) -n $(JOBS) -concurrency $(CONCURRENCY)
 
 clean:
-	rm -f BENCH_embed.txt BENCH_embed.json
+	rm -f BENCH_embed.txt BENCH_embed.json cover.out

@@ -108,11 +108,11 @@ func main() {
 	// "Assuming a lower bound on some global circuit delay is 15
 	// units, we would rather choose solution (5,12) ... instead of the
 	// faster (6,10)."
-	cheap := r.SelectByBound(15)
+	cheap, _ := r.SelectByBound(15)
 	emb := r.Extract(cheap)
 	fmt.Printf("\nbound 15 -> choose (%.0f,%.0f): x placed at slot %d\n",
 		cheap.Sig.Cost, cheap.Sig.D[0], emb.NodeVertex[1])
-	fast := r.SelectByBound(11)
+	fast, _ := r.SelectByBound(11)
 	emb = r.Extract(fast)
 	fmt.Printf("bound 11 -> choose (%.0f,%.0f): x placed at slot %d\n",
 		fast.Sig.Cost, fast.Sig.D[0], emb.NodeVertex[1])

@@ -430,7 +430,18 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 			// banked slack lets later iterations untangle the ties.
 			bound = ep.LowerBound
 		}
-		sel = res.SelectByBound(bound)
+		var ok bool
+		sel, ok = res.SelectByBound(bound)
+		if !ok {
+			// Nothing on the frontier is fast enough: take the fastest
+			// solution and let the status-quo check below decide whether
+			// it still improves the critical sink.
+			sel, ok = res.SelectFastest()
+		}
+		if !ok {
+			stopEmbed()
+			return false, nil // empty frontier: nothing to select
+		}
 		if e.Config.Mode.LexDepth > 1 || e.Config.Mode.MC {
 			sel = e.refineLex(res, sel)
 		}

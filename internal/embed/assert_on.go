@@ -24,17 +24,18 @@ func assertStaircase(stair []stairStep) {
 	}
 }
 
-// assertNonDominatedCombos panics if an earlier combo of a pruned,
-// heap-ordered set dominates a later one — the exact guarantee the
-// sorted prune sweep makes. (The reverse direction is not asserted: a
-// later combo may dominate an earlier one through a smaller Peak,
-// which the heap order deliberately ignores.)
+// assertNonDominatedCombos panics unless a pruned combo set is a full
+// antichain of the dominance order. Both directions hold because the
+// prune sweep sorts by totalLess, a refinement of dominance: a
+// dominating combo always sorts first, so the forward scan removes
+// every dominated entry — including the smaller-Peak/Branch cases the
+// old heap-order sort could leave pointing backwards.
 func assertNonDominatedCombos(m Mode, combos []combo) {
 	for i := range combos {
-		for j := i + 1; j < len(combos); j++ {
-			if dominates(m, &combos[i].sig, &combos[j].sig) {
+		for j := range combos {
+			if i != j && dominates(m, &combos[i].sig, &combos[j].sig) {
 				panic(fmt.Sprintf(
-					"replassert: pruned combo %d dominates later combo %d — prune sweep kept dead weight", i, j))
+					"replassert: pruned combo %d dominates combo %d — prune sweep kept dead weight", i, j))
 			}
 		}
 	}

@@ -123,18 +123,18 @@ func TestPaperWorkedExample(t *testing.T) {
 	}
 
 	// "Assuming a lower bound of 15 units, we would choose (5,12)":
-	sel := r.SelectByBound(15)
-	if sel.Sig.Cost != 5 || sel.Sig.D[0] != 12 {
-		t.Errorf("SelectByBound(15) = (%v,%v), want (5,12)", sel.Sig.Cost, sel.Sig.D[0])
+	sel, ok := r.SelectByBound(15)
+	if !ok || sel.Sig.Cost != 5 || sel.Sig.D[0] != 12 {
+		t.Errorf("SelectByBound(15) = (%v,%v,%v), want (5,12,true)", sel.Sig.Cost, sel.Sig.D[0], ok)
 	}
 	emb := r.Extract(sel)
 	if emb.NodeVertex[1] != 1 {
 		t.Errorf("chosen solution places x at %d, want slot 1", emb.NodeVertex[1])
 	}
 	// A tighter bound forces the faster, costlier solution: x at 2.
-	sel = r.SelectByBound(11)
-	if sel.Sig.Cost != 6 || sel.Sig.D[0] != 10 {
-		t.Errorf("SelectByBound(11) = (%v,%v), want (6,10)", sel.Sig.Cost, sel.Sig.D[0])
+	sel, ok = r.SelectByBound(11)
+	if !ok || sel.Sig.Cost != 6 || sel.Sig.D[0] != 10 {
+		t.Errorf("SelectByBound(11) = (%v,%v,%v), want (6,10,true)", sel.Sig.Cost, sel.Sig.D[0], ok)
 	}
 	if emb := r.Extract(sel); emb.NodeVertex[1] != 2 {
 		t.Errorf("fast solution places x at %d, want slot 2", emb.NodeVertex[1])
@@ -211,7 +211,7 @@ func TestGridJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := r.SelectByBound(0) // unachievable bound -> fastest
+	best, _ := r.SelectFastest()
 	emb := r.Extract(best)
 	gate := emb.NodeVertex[2]
 	gx, gy := int(gate)%5, int(gate)/5
@@ -245,7 +245,7 @@ func TestLeafArrivalSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := r.SelectByBound(0)
+	best, _ := r.SelectFastest()
 	// Lower bound: 10 + dist((0,2),(4,0)) + two gates = 10 + 6 + 2.
 	if best.Sig.D[0] != 18 {
 		t.Errorf("fastest arrival = %v, want 18 (late leaf dominates)", best.Sig.D[0])
@@ -318,7 +318,7 @@ func TestBlockedVertices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := r.SelectByBound(math.Inf(1))
+	f, _ := r.SelectByBound(math.Inf(1))
 	// Straight distance is 4 but the wall forces the route through
 	// (2,4): length 4 + 2*4 = 12.
 	if f.Sig.Cost != 12 {
@@ -353,7 +353,7 @@ func TestFreeRoot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := r.SelectByBound(0)
+	best, _ := r.SelectFastest()
 	// Best root location is midway: arrival = 2 wire + 1 gate = 3.
 	if best.Sig.D[0] != 3 {
 		t.Errorf("free-root best arrival = %v, want 3", best.Sig.D[0])
@@ -466,7 +466,11 @@ func TestOverlapControl(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return r.Extract(r.SelectByBound(math.Inf(1)))
+		sel, ok := r.SelectByBound(math.Inf(1))
+		if !ok {
+			t.Fatal("empty frontier")
+		}
+		return r.Extract(sel)
 	}
 	emb := solve(true)
 	if emb.NodeVertex[1] == emb.NodeVertex[2] {
@@ -535,7 +539,7 @@ func TestElmoreMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := r.SelectByBound(0)
+	best, _ := r.SelectFastest()
 	emb := r.Extract(best)
 	mid := emb.NodeVertex[1]
 	// Elmore delay of length L from R=0 is L²/2; splitting 8 into 4+4
@@ -571,8 +575,10 @@ func TestMaxPerVertexCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fe := exact.SelectByBound(0).Sig.D[0]
-	fc := capped.SelectByBound(0).Sig.D[0]
+	fes, _ := exact.SelectFastest()
+	fcs, _ := capped.SelectFastest()
+	fe := fes.Sig.D[0]
+	fc := fcs.Sig.D[0]
 	if fc < fe {
 		t.Errorf("capped solver found arrival %v better than exact %v", fc, fe)
 	}
@@ -662,5 +668,61 @@ func TestInfeasible(t *testing.T) {
 	p := &Problem{G: g, T: tree, Mode: Mode{LexDepth: 1}}
 	if _, err := p.Solve(); err == nil {
 		t.Error("expected infeasibility error")
+	}
+}
+
+// TestSelectByBoundTable pins the selection contract: the cheapest
+// solution meeting the bound when one exists, and a defined zero value
+// with ok=false when none does — including the empty frontier, which
+// used to dereference nil.
+func TestSelectByBoundTable(t *testing.T) {
+	frontier := func(points ...[2]float64) *Result {
+		r := &Result{}
+		for _, p := range points {
+			var s Sig
+			s.Cost = p[0]
+			s.D[0] = p[1]
+			r.Frontier = append(r.Frontier, FrontierSol{Sig: s})
+		}
+		return r
+	}
+	// Cost-sorted, arrival-decreasing curve as Solve produces.
+	curve := frontier([2]float64{5, 12}, [2]float64{6, 10}, [2]float64{9, 7})
+	tests := []struct {
+		name     string
+		r        *Result
+		bound    float64
+		wantCost float64
+		wantOK   bool
+	}{
+		{"loose bound picks cheapest", curve, 12, 5, true},
+		{"tight bound pays for speed", curve, 10, 6, true},
+		{"exact bound is inclusive", curve, 7, 9, true},
+		{"unachievable bound", curve, 6.5, 0, false},
+		{"empty frontier", frontier(), 100, 0, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			sel, ok := tc.r.SelectByBound(tc.bound)
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			if !ok {
+				if sel != (FrontierSol{}) {
+					t.Errorf("no-solution select = %+v, want zero FrontierSol", sel)
+				}
+				return
+			}
+			if sel.Sig.Cost != tc.wantCost {
+				t.Errorf("selected cost %v, want %v", sel.Sig.Cost, tc.wantCost)
+			}
+		})
+	}
+
+	if f, ok := curve.SelectFastest(); !ok || f.Sig.D[0] != 7 {
+		t.Errorf("SelectFastest = (%v,%v), want arrival 7", f.Sig.D[0], ok)
+	}
+	if f, ok := frontier().SelectFastest(); ok || f != (FrontierSol{}) {
+		t.Errorf("SelectFastest on empty frontier = (%+v,%v), want zero,false", f, ok)
 	}
 }

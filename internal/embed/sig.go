@@ -126,9 +126,17 @@ func lexLE(a, b *Sig, depth int) bool { return !lexLess(b, a, depth) }
 // dominance test. Delay values are compared as one lexicographic value
 // (valid because t >= t2 >= ... and, for MC, t >= tc — the paper's
 // observation enabling the 2-D dominance test for all Lex variants).
-// Load-dependent modes additionally require a's R to be no worse, and
-// overlap control requires a's Branch to be no worse (fewer co-located
-// gates never hurts later joins).
+// Load-dependent modes additionally require a's R to be no worse.
+//
+// Branch participates unconditionally, not just under overlap control:
+// Peak is a dominance dimension in every mode, and a solution's future
+// Peak depends on its Branch (finishJoin grows Branch and folds it into
+// Peak). Pruning b against an equal-Peak a with a larger Branch would
+// discard exactly the candidate whose descendants have the smaller
+// Peak — an unsound prune the brute-force oracle catches on small
+// instances. Requiring a.Branch <= b.Branch restores the monotonicity
+// the dominance argument needs (and subsumes the overlap-control check,
+// which additionally filters joins by capacity in joinSpan).
 func dominates(m Mode, a, b *Sig) bool {
 	if a.Cost > b.Cost {
 		return false
@@ -142,7 +150,7 @@ func dominates(m Mode, a, b *Sig) bool {
 	if m.loadDependent() && a.R > b.R {
 		return false
 	}
-	if m.OverlapControl && a.Branch > b.Branch {
+	if a.Branch > b.Branch {
 		return false
 	}
 	if a.Peak > b.Peak {
@@ -165,6 +173,54 @@ func heapLess(m Mode, a, b *Sig) bool {
 		return a.Cost < b.Cost
 	}
 	return lexLess(a, b, m.lexDepth())
+}
+
+// totalLess is a total order refining the dominance partial order: if a
+// dominates b and a != b in some dominance dimension, then
+// totalLess(a, b). The prune sweeps sort by it so a forward-only
+// dominance scan yields the canonical minimal antichain — under the
+// weaker heapLess sort, a kept entry could be dominated by a later one
+// whenever cost and arrival tie but Branch, Peak, TC or R differ. The
+// dominance dimensions come first (in the dominates order), then the
+// remaining fields as deterministic tie-breaks so equal-key sorting
+// never depends on input order.
+//
+//replint:floatcmp-helper
+func totalLess(m Mode, a, b *Sig) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	depth := m.lexDepth()
+	for i := 0; i < depth; i++ {
+		if a.D[i] != b.D[i] {
+			return a.D[i] < b.D[i]
+		}
+	}
+	if m.MC && a.TC != b.TC {
+		return a.TC < b.TC
+	}
+	if m.loadDependent() && a.R != b.R {
+		return a.R < b.R
+	}
+	if a.Branch != b.Branch {
+		return a.Branch < b.Branch
+	}
+	if a.Peak != b.Peak {
+		return a.Peak < b.Peak
+	}
+	// Non-dominance tie-breaks: never reached for signatures of one
+	// tree node in practice (W is constant per node, TC/R are neutral
+	// outside their modes), but kept so the order is total regardless.
+	if a.TC != b.TC {
+		return a.TC < b.TC
+	}
+	if a.R != b.R {
+		return a.R < b.R
+	}
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	return false
 }
 
 // augment extends a signature across an edge: wire cost adds to Cost,

@@ -129,7 +129,11 @@ type solverScratch struct {
 	items  []queueItem
 	combos [2][]combo
 	arena  [2][]int32
-	stair  []stairStep
+	// stairBranch / stairs are the branch-classed prune staircases:
+	// one monotone (d0, peak) staircase per distinct Branch value seen
+	// among the combos of one join (see pruneCombos2D).
+	stairBranch []int32
+	stairs      [][]stairStep
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(solverScratch) }}
@@ -293,16 +297,14 @@ func (r *Result) finish(workers int) (*Result, error) {
 	if len(all) == 0 {
 		return nil, fmt.Errorf("embed: no feasible embedding (root unreachable from leaves)")
 	}
+	// Canonical frontier order: totalLess refines the dominance partial
+	// order, so the forward-only dominance scan below keeps exactly the
+	// minimal antichain (a dominating solution always sorts first). It
+	// is cost-major, preserving SelectByBound's cheapest-first contract,
+	// and breaks cost/arrival ties toward less gate stacking so that
+	// selection never picks an overlap the legalizer must undo.
 	sort.Slice(all, func(i, j int) bool {
-		if heapLess(p.Mode, &all[i].Sig, &all[j].Sig) {
-			return true
-		}
-		if heapLess(p.Mode, &all[j].Sig, &all[i].Sig) {
-			return false
-		}
-		// Ties: prefer solutions with less gate stacking, so that
-		// selection never picks an overlap the legalizer must undo.
-		return all[i].Sig.Peak < all[j].Sig.Peak
+		return totalLess(p.Mode, &all[i].Sig, &all[j].Sig)
 	})
 	if rootNode.Vertex < 0 {
 		// Free root (FF relocation, Section V-D): the caller needs
@@ -310,9 +312,24 @@ func (r *Result) finish(workers int) (*Result, error) {
 		// locations for the critical sink" — cross-vertex dominance
 		// would discard exactly the alternative locations the
 		// relocation heuristic must weigh against the sink's outgoing
-		// paths, so every (already per-vertex non-dominated) solution
-		// is kept.
-		r.Frontier = all
+		// paths, so per-vertex curves are kept. Each vertex's curve
+		// still needs a post-join prune: the pre-join combo prune is
+		// not enough, because finishJoin can make two incomparable
+		// combos comparable (Branch grows by one and folds into Peak),
+		// as the brute-force oracle demonstrates on small instances.
+		for _, f := range all {
+			dominated := false
+			for i := range r.Frontier {
+				if r.Frontier[i].Vertex == f.Vertex &&
+					dominates(p.Mode, &r.Frontier[i].Sig, &f.Sig) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				r.Frontier = append(r.Frontier, f)
+			}
+		}
 		if assertEnabled {
 			assertFrontier(p.Mode, r.Frontier, true)
 		}
@@ -521,14 +538,16 @@ type stairStep struct {
 	peak int32
 }
 
-// pruneCombos removes dominated combinations. For the common plain 2-D
-// signature (LexDepth 1, linear delay, no MC/overlap control) the
-// post-sort scan is a single linear sweep over a monotone staircase;
-// the general quadratic scan covers Lex-N, Lex-mc and load-dependent
-// modes.
+// pruneCombos removes dominated combinations. The input is sorted by
+// totalLess — a total order refining dominance — so the forward-only
+// scans below yield the canonical minimal antichain regardless of input
+// order. For the common plain signature (LexDepth 1, linear delay, no
+// MC) the post-sort scan is a near-linear sweep over branch-classed
+// staircases; the general quadratic scan covers Lex-N, Lex-mc and
+// load-dependent modes.
 func pruneCombos(m Mode, in []combo, sc *solverScratch) []combo {
-	sort.Slice(in, func(i, j int) bool { return heapLess(m, &in[i].sig, &in[j].sig) })
-	if m.lexDepth() == 1 && !m.MC && !m.loadDependent() && !m.OverlapControl {
+	sort.Slice(in, func(i, j int) bool { return totalLess(m, &in[i].sig, &in[j].sig) })
+	if m.lexDepth() == 1 && !m.MC && !m.loadDependent() {
 		out := pruneCombos2D(in, sc)
 		if assertEnabled {
 			assertNonDominatedCombos(m, out)
@@ -554,27 +573,59 @@ func pruneCombos(m Mode, in []combo, sc *solverScratch) []combo {
 	return out
 }
 
-// pruneCombos2D prunes cost-sorted combos under the plain 2-D
-// dominance test (cost, arrival, peak — cost ordering is given by the
-// sort, so dominance reduces to a staircase query over the remaining
-// two dimensions): a combo is dominated iff some kept combo has both
-// arrival and peak no worse. The staircase keeps (d0, peak) steps with
-// d0 non-decreasing and peak strictly decreasing, so the best peak at
-// arrival <= x is the last step with d0 <= x — one binary search per
-// combo instead of a scan over all kept combos.
+// pruneCombos2D prunes totalLess-sorted combos under the plain-mode
+// dominance test (cost, arrival, branch, peak — cost ordering is given
+// by the sort, so dominance reduces to a query over the remaining
+// dimensions): a combo is dominated iff some kept combo has arrival,
+// branch and peak all no worse. Kept combos live in one monotone
+// (d0, peak) staircase per distinct Branch value — a join sees only a
+// handful of distinct branch counts, so a dominance query is a binary
+// search per no-worse branch class instead of a scan over all kept
+// combos. Each staircase keeps d0 non-decreasing and peak strictly
+// decreasing, so the best peak at arrival <= x is the last step with
+// d0 <= x.
 func pruneCombos2D(in []combo, sc *solverScratch) []combo {
-	stair := sc.stair[:0]
+	branches := sc.stairBranch[:0]
 	out := in[:0]
 	for i := range in {
-		d0, peak := in[i].sig.D[0], in[i].sig.Peak
-		// pos: first step with d0 > x.d0.
-		pos := sort.Search(len(stair), func(j int) bool { return stair[j].d0 > d0 })
-		if pos > 0 && stair[pos-1].peak <= peak {
-			continue // dominated
+		d0, br, peak := in[i].sig.D[0], in[i].sig.Branch, in[i].sig.Peak
+		dominated := false
+		for c := range branches {
+			if branches[c] > br {
+				continue
+			}
+			stair := sc.stairs[c]
+			// pos: first step with d0 > x.d0.
+			pos := sort.Search(len(stair), func(j int) bool { return stair[j].d0 > d0 })
+			if pos > 0 && stair[pos-1].peak <= peak {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
 		}
 		out = append(out, in[i])
-		// Splice the new step in at pos, dropping the now-redundant
-		// steps that follow it with an equal-or-worse peak.
+		// Find (or open) this branch value's staircase, then splice the
+		// new step in, dropping the now-redundant steps that follow it
+		// with an equal-or-worse peak.
+		cls := -1
+		for c := range branches {
+			if branches[c] == br {
+				cls = c
+				break
+			}
+		}
+		if cls < 0 {
+			cls = len(branches)
+			branches = append(branches, br)
+			if len(sc.stairs) <= cls {
+				sc.stairs = append(sc.stairs, nil)
+			}
+			sc.stairs[cls] = sc.stairs[cls][:0]
+		}
+		stair := sc.stairs[cls]
+		pos := sort.Search(len(stair), func(j int) bool { return stair[j].d0 > d0 })
 		j := pos
 		for j < len(stair) && stair[j].peak >= peak {
 			j++
@@ -587,11 +638,14 @@ func pruneCombos2D(in []combo, sc *solverScratch) []combo {
 			stair[pos] = stairStep{d0: d0, peak: peak}
 			stair = append(stair[:pos+1], stair[j:]...)
 		}
+		sc.stairs[cls] = stair
 	}
 	if assertEnabled {
-		assertStaircase(stair)
+		for c := range branches {
+			assertStaircase(sc.stairs[c])
+		}
 	}
-	sc.stair = stair[:0]
+	sc.stairBranch = branches[:0]
 	return out
 }
 
@@ -688,23 +742,34 @@ func (r *Result) SolutionsAt(node NodeID, v Vertex) []Sig {
 
 // SelectByBound picks from the frontier the cheapest solution whose max
 // arrival beats the bound — "the cheapest solution that is fast enough"
-// (Section II-C) — falling back to the fastest solution when none
-// meets the bound.
-func (r *Result) SelectByBound(bound float64) FrontierSol {
-	var fastest *FrontierSol
-	for i := range r.Frontier {
-		f := &r.Frontier[i]
-		if fastest == nil || f.Sig.D[0] < fastest.Sig.D[0] {
-			fastest = f
-		}
-	}
+// (Section II-C). When no solution meets the bound (or the frontier is
+// empty) it returns the zero FrontierSol and ok=false; callers decide
+// the fallback (the engine falls back to SelectFastest) instead of
+// silently receiving whichever solution fell out.
+func (r *Result) SelectByBound(bound float64) (FrontierSol, bool) {
 	// Frontier is cost-sorted: first hit is the cheapest fast-enough.
 	for i := range r.Frontier {
 		if r.Frontier[i].Sig.D[0] <= bound {
-			return r.Frontier[i]
+			return r.Frontier[i], true
 		}
 	}
-	return *fastest
+	return FrontierSol{}, false
+}
+
+// SelectFastest returns the frontier solution with the smallest max
+// arrival, breaking arrival ties toward the cheaper (earlier-sorted)
+// solution; ok=false when the frontier is empty.
+func (r *Result) SelectFastest() (FrontierSol, bool) {
+	best := -1
+	for i := range r.Frontier {
+		if best < 0 || r.Frontier[i].Sig.D[0] < r.Frontier[best].Sig.D[0] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return FrontierSol{}, false
+	}
+	return r.Frontier[best], true
 }
 
 // Embedding is a fully reconstructed solution.

@@ -1,0 +1,39 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAlgorithm holds the parser to its contract on arbitrary
+// input: never panic, accept every canonical name case-insensitively,
+// and return algorithms that appear in the canonical name list.
+func FuzzParseAlgorithm(f *testing.F) {
+	for _, name := range AlgorithmNames() {
+		f.Add(name)
+		f.Add(strings.ToUpper(name))
+	}
+	f.Add("")
+	f.Add("rt ")
+	f.Add("no-such-algo")
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, s string) {
+		algo, ok := ParseAlgorithm(s)
+		lower, lok := ParseAlgorithm(strings.ToLower(s))
+		if ok != lok || (ok && algo != lower) {
+			t.Fatalf("ParseAlgorithm(%q) = (%v, %v) but lowercased = (%v, %v): not case-insensitive",
+				s, algo, ok, lower, lok)
+		}
+		if !ok {
+			return
+		}
+		// Every accepted input maps to an algorithm with at least one
+		// canonical spelling that parses back to it.
+		for _, name := range AlgorithmNames() {
+			if back, bok := ParseAlgorithm(name); bok && back == algo {
+				return
+			}
+		}
+		t.Fatalf("ParseAlgorithm(%q) = %v, which no canonical name produces", s, algo)
+	})
+}

@@ -1,0 +1,383 @@
+// Package oracle is the correctness oracle for the replication engine:
+// independent, brutally simple reference implementations that the
+// optimized subsystems are differentially tested against.
+//
+// Three checkers live here:
+//
+//   - a brute-force fanin-tree embedder (this file) that enumerates
+//     every embedding of a small tree into a small graph and returns
+//     the true non-dominated frontier, cross-checked for exact
+//     equality against embed.Problem.Solve;
+//   - a simulation-based functional-equivalence checker (equiv.go)
+//     proving a post-replication netlist computes the same function as
+//     the original;
+//   - a structural/placement invariant checker (invariants.go) for
+//     full core.Engine runs.
+//
+// Everything is written for clarity over speed and shares no pruning,
+// scheduling or scratch machinery with the code under test. The
+// embedder is exponential by design and guarded by explicit size caps;
+// instances come from the seeded generators in gen.go, which emit only
+// dyadic-rational values (multiples of 1/4) so every float sum the
+// solver performs is exact and frontier comparison can demand bitwise
+// equality.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/embed"
+)
+
+// Point is one point of the oracle's frontier: a root signature and the
+// vertex the root was placed at (meaningful for free-root problems,
+// where per-vertex curves are kept).
+type Point struct {
+	Sig    embed.Sig
+	Vertex embed.Vertex
+}
+
+// Enumeration guards: the oracle refuses instances whose exhaustive
+// expansion would exceed these bounds rather than silently sampling.
+const (
+	maxAssignments   = 1 << 16 // internal-node placement assignments
+	maxRoutesPerPair = 1 << 14 // simple paths between one vertex pair
+	maxSigsPerNode   = 1 << 18 // partial signatures within one assignment
+)
+
+// Frontier exhaustively enumerates every embedding of p.T into p.G —
+// every assignment of internal nodes to vertices, every simple-path
+// route per tree edge, and every branch-resetting closed-walk route at
+// a shared vertex — evaluates each with an independent implementation
+// of the signature algebra, and returns the canonical non-dominated
+// frontier. For a fixed root the result is the minimal antichain at the
+// root vertex; for a free root, the per-vertex minimal antichains of
+// every root location (mirroring Solve's FF-relocation contract).
+//
+// The problem must be in exact mode: MaxPerVertex == 0 (the per-vertex
+// cap plus delay quantum deliberately trade exactness for speed and
+// have no ground truth to compare against).
+func Frontier(p *embed.Problem) ([]Point, error) {
+	if p.MaxPerVertex != 0 {
+		return nil, fmt.Errorf("oracle: MaxPerVertex %d is inexact mode; oracle requires 0", p.MaxPerVertex)
+	}
+	if err := p.T.Validate(p.G.NumVertices()); err != nil {
+		return nil, err
+	}
+	if rv := p.T.Nodes[p.T.Root].Vertex; rv >= 0 && p.G.Blocked(rv) {
+		// A join places a new gate, and blocked vertices host no new
+		// gates: a root pinned to one is infeasible. (Free internals
+		// already range over unblocked spots only.)
+		return nil, nil
+	}
+	b := &brute{p: p, routes: make(map[routeKey][]route)}
+
+	// Free placements: every internal node except a fixed root ranges
+	// over all unblocked vertices.
+	var free []embed.NodeID
+	for id := range p.T.Nodes {
+		n := &p.T.Nodes[id]
+		if n.IsLeaf() {
+			continue
+		}
+		if embed.NodeID(id) == p.T.Root && n.Vertex >= 0 {
+			continue
+		}
+		free = append(free, embed.NodeID(id))
+	}
+	var spots []embed.Vertex
+	for v := 0; v < p.G.NumVertices(); v++ {
+		if !p.G.Blocked(embed.Vertex(v)) {
+			spots = append(spots, embed.Vertex(v))
+		}
+	}
+	total := 1
+	for range free {
+		total *= len(spots)
+		if total > maxAssignments {
+			return nil, fmt.Errorf("oracle: %d^%d assignments exceed cap %d",
+				len(spots), len(free), maxAssignments)
+		}
+	}
+
+	assign := make([]embed.Vertex, len(p.T.Nodes))
+	for id := range p.T.Nodes {
+		assign[id] = p.T.Nodes[id].Vertex // leaves and a fixed root
+	}
+	byVertex := make(map[embed.Vertex][]embed.Sig)
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
+		if i == len(free) {
+			sols, err := b.subSols(p.T.Root, assign)
+			if err != nil {
+				return err
+			}
+			rv := assign[p.T.Root]
+			byVertex[rv] = append(byVertex[rv], sols...)
+			return nil
+		}
+		for _, v := range spots {
+			assign[free[i]] = v
+			if err := enumerate(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := enumerate(0); err != nil {
+		return nil, err
+	}
+
+	rootFree := p.T.Nodes[p.T.Root].Vertex < 0
+	var out []Point
+	for _, v := range sortedVertices(byVertex) {
+		for _, s := range pruneCanonical(p.Mode, byVertex[v]) {
+			out = append(out, Point{Sig: s, Vertex: v})
+		}
+	}
+	if !rootFree {
+		// Fixed root: everything sits at one vertex, already canonical.
+		return out, nil
+	}
+	// Free root: per-vertex curves are kept; cross-vertex dominance is
+	// legitimate and deliberately not applied (Solve keeps it too).
+	return out, nil
+}
+
+// brute carries the memoized route sets of one enumeration.
+type brute struct {
+	p *embed.Problem
+	// routes caches the pareto-reduced simple-path route set per
+	// routeKey; the to==from entry holds the branch-resetting closed
+	// walks (the trivial stay-put route is handled separately because
+	// it preserves Branch).
+	routes map[routeKey][]route
+}
+
+// routeKey identifies one memoized route set. startR matters because
+// Elmore delay is load-dependent: a route's delay from resistance R0 is
+// delay(0) + R0·length, so which of two routes is faster can flip
+// between a leaf child (R0 = 0) and a joined child (R0 = GateR) — the
+// pareto reduction must happen per start-resistance class.
+type routeKey struct {
+	from, to embed.Vertex
+	startR   float64
+}
+
+// route is one wire route: the edge sequence walked from the child's
+// vertex, plus its evaluated cost/delay effect used for the pareto
+// reduction (valid because instances are dyadic-exact, so the
+// sequential sums the signature algebra performs equal these totals).
+type route struct {
+	edges []embed.Edge
+	cost  float64
+	delay float64
+}
+
+// subSols returns every signature of the subtree rooted at id under the
+// given assignment, joined at assign[id] — the oracle's independent
+// evaluation of the paper's Join: child solutions are routed to the
+// join vertex, cross-producted pairwise in child order, then charged
+// the placement cost and gate delay. No intermediate pruning happens;
+// dominated candidates die only at the root, which is what makes this
+// an oracle rather than a second DP.
+func (b *brute) subSols(id embed.NodeID, assign []embed.Vertex) ([]embed.Sig, error) {
+	n := &b.p.T.Nodes[id]
+	v := assign[id]
+	pc := 0.0
+	if b.p.PlaceCost != nil {
+		pc = b.p.PlaceCost(id, v)
+	}
+	if math.IsInf(pc, 1) {
+		return nil, nil
+	}
+	var combos []embed.Sig
+	for ci, c := range n.Children {
+		var childAt []embed.Sig
+		if cn := &b.p.T.Nodes[c]; cn.IsLeaf() {
+			childAt = []embed.Sig{leafSig(b.p.Mode, cn.Arr, cn.Critical)}
+		} else {
+			sub, err := b.subSols(c, assign)
+			if err != nil {
+				return nil, err
+			}
+			childAt = sub
+		}
+		startR := 0.0
+		if b.p.Mode.Delay == embed.ElmoreDelay && !b.p.T.Nodes[c].IsLeaf() {
+			startR = b.p.Mode.GateR // the gate drives the route
+		}
+		routed, err := b.routed(childAt, assign[c], v, startR)
+		if err != nil {
+			return nil, err
+		}
+		if len(routed) == 0 {
+			return nil, nil // child cannot reach the join vertex
+		}
+		if ci == 0 {
+			combos = routed
+			continue
+		}
+		next := make([]embed.Sig, 0, len(combos)*len(routed))
+		for i := range combos {
+			for j := range routed {
+				next = append(next, mergeSigs(b.p.Mode, &combos[i], &routed[j]))
+			}
+		}
+		combos = next
+		if len(combos) > maxSigsPerNode {
+			return nil, fmt.Errorf("oracle: %d partial signatures at node %d exceed cap %d",
+				len(combos), id, maxSigsPerNode)
+		}
+	}
+	out := make([]embed.Sig, 0, len(combos))
+	for i := range combos {
+		s := finishJoinSig(b.p.Mode, combos[i], pc, n.Intrinsic)
+		if b.p.Mode.OverlapControl {
+			cap := 1
+			if b.p.Capacity != nil {
+				cap = b.p.Capacity(v)
+			}
+			if int(s.Branch) > cap {
+				continue // join would overfill the slot
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// routed applies every route from cv to v to every signature in sols.
+// At cv == v the trivial route (stay put, Branch preserved — the
+// signal is consumed where it is produced) joins the closed walks,
+// which leave and return to cv, resetting Branch to 0 at the price of
+// wire cost and delay. Those walks are what the wavefront finds when a
+// smaller Branch (hence smaller future Peak, or overlap-control
+// feasibility) is worth paying for; omitting them is the classic way
+// to build a subtly wrong oracle.
+func (b *brute) routed(sols []embed.Sig, cv, v embed.Vertex, startR float64) ([]embed.Sig, error) {
+	routes, err := b.routesBetween(cv, v, startR)
+	if err != nil {
+		return nil, err
+	}
+	var out []embed.Sig
+	if cv == v {
+		out = append(out, sols...) // trivial route
+	}
+	for _, rt := range routes {
+		for i := range sols {
+			out = append(out, applyRoute(b.p.Mode, sols[i], rt.edges))
+		}
+	}
+	return out, nil
+}
+
+// routesBetween returns the pareto-reduced route set from u to w: all
+// simple paths (u != w) or all simple closed walks (u == w), reduced on
+// evaluated (cost, delay) — a route both costlier and slower than
+// another yields dominated signatures whatever it is applied to, since
+// every route here lands in the same Branch class (0). Routes may not
+// enter a blocked vertex; starting at one is fine (a leaf may sit on a
+// blocked slot), which also means no closed walk exists at a blocked
+// vertex — the return step would enter it.
+func (b *brute) routesBetween(u, w embed.Vertex, startR float64) ([]route, error) {
+	key := routeKey{from: u, to: w, startR: startR}
+	if rs, ok := b.routes[key]; ok {
+		return rs, nil
+	}
+	g := b.p.G
+	var all []route
+	visited := make([]bool, g.NumVertices())
+	var edges []embed.Edge
+	var walk func(at embed.Vertex) error
+	walk = func(at embed.Vertex) error {
+		if at == w && len(edges) > 0 {
+			all = append(all, route{edges: append([]embed.Edge(nil), edges...)})
+			if len(all) > maxRoutesPerPair {
+				return fmt.Errorf("oracle: routes %d->%d exceed cap %d", u, w, maxRoutesPerPair)
+			}
+			return nil // extending past the target only builds dominated walks
+		}
+		for _, e := range g.Adj(at) {
+			if g.Blocked(e.To) {
+				continue
+			}
+			// A closed walk may end at u; anything else must be simple.
+			if visited[e.To] && !(e.To == w && u == w) {
+				continue
+			}
+			was := visited[e.To]
+			visited[e.To] = true
+			edges = append(edges, e)
+			err := walk(e.To)
+			edges = edges[:len(edges)-1]
+			visited[e.To] = was
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	visited[u] = true
+	if err := walk(u); err != nil {
+		return nil, err
+	}
+	for i := range all {
+		all[i].cost, all[i].delay = evalRoute(b.p.Mode, all[i].edges, startR)
+	}
+	rs := paretoRoutes(all)
+	b.routes[key] = rs
+	return rs, nil
+}
+
+// evalRoute computes a route's cost and delay contribution when walked
+// from stem/resistance state startR, by probing the route with a fresh
+// zero-arrival signature.
+func evalRoute(m embed.Mode, edges []embed.Edge, startR float64) (cost, delay float64) {
+	var s embed.Sig
+	s.R = startR
+	for i := 1; i < embed.MaxLex; i++ {
+		s.D[i] = math.Inf(-1)
+	}
+	s = applyRoute(m, s, edges)
+	return s.Cost, s.D[0]
+}
+
+// paretoRoutes keeps the routes not worsened in both cost and delay by
+// another; exact ties keep the first (identical effects yield identical
+// signatures).
+func paretoRoutes(in []route) []route {
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].cost != in[j].cost {
+			return in[i].cost < in[j].cost
+		}
+		return in[i].delay < in[j].delay
+	})
+	var out []route
+	for _, r := range in {
+		dominated := false
+		for _, k := range out {
+			if k.cost <= r.cost && k.delay <= r.delay {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// sortedVertices returns the map's keys in ascending order, the
+// deterministic iteration order frontier assembly requires.
+func sortedVertices(m map[embed.Vertex][]embed.Sig) []embed.Vertex {
+	keys := make([]embed.Vertex, 0, len(m))
+	for v := range m {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,53 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/embed"
+)
+
+// Diff compares a DP frontier against the oracle frontier as sets of
+// (vertex, signature) points and returns a descriptive error on any
+// mismatch. Signatures are compared bitwise — on dyadic-exact instances
+// the DP and the oracle perform exact float arithmetic in different
+// orders, so even the last bit must agree. nil means exact agreement.
+func Diff(got []embed.FrontierSol, want []Point) error {
+	g := make(map[Point]int, len(got))
+	for _, f := range got {
+		g[Point{Sig: f.Sig, Vertex: f.Vertex}]++
+	}
+	w := make(map[Point]int, len(want))
+	for _, p := range want {
+		w[p]++
+	}
+	var lines []string
+	for p, n := range g {
+		switch {
+		case n > 1:
+			lines = append(lines, fmt.Sprintf("solver frontier repeats %s ×%d", fmtPoint(p), n))
+		case w[p] == 0:
+			lines = append(lines, fmt.Sprintf("solver has spurious %s", fmtPoint(p)))
+		}
+	}
+	for p, n := range w {
+		switch {
+		case n > 1:
+			lines = append(lines, fmt.Sprintf("oracle frontier repeats %s ×%d", fmtPoint(p), n))
+		case g[p] == 0:
+			lines = append(lines, fmt.Sprintf("solver misses %s", fmtPoint(p)))
+		}
+	}
+	if len(lines) == 0 {
+		return nil
+	}
+	sort.Strings(lines)
+	return fmt.Errorf("frontier mismatch (%d solver vs %d oracle points):\n  %s",
+		len(got), len(want), strings.Join(lines, "\n  "))
+}
+
+func fmtPoint(p Point) string {
+	return fmt.Sprintf("v%d cost=%v D=%v TC=%v W=%d R=%v Branch=%d Peak=%d",
+		p.Vertex, p.Sig.Cost, p.Sig.D, p.Sig.TC, p.Sig.W, p.Sig.R, p.Sig.Branch, p.Sig.Peak)
+}

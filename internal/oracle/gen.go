@@ -1,0 +1,156 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/embed"
+)
+
+// Seeded random instance generation for the differential harness.
+//
+// Every numeric value is a dyadic rational — a small multiple of 1/4 —
+// so the float sums and products (Elmore multiplies quarter-grain
+// values into 1/32-grain ones, still dyadic, still tiny) performed by
+// both the DP and the oracle are exact and order-independent. That is
+// what licenses bitwise frontier comparison: with exact arithmetic,
+// "same multiset of operations in any order" means "same bits".
+//
+// Zero wire delays and zero intrinsics are generated on purpose: exact
+// ties are where dominance pruning, heap tie-breaks and canonical
+// ordering earn their keep, and where historical bugs hide.
+
+// quarter returns a random non-negative multiple of 1/4 below max.
+func quarter(rng *rand.Rand, max int) float64 {
+	return float64(rng.Intn(max)) * 0.25
+}
+
+// GenProblem builds a random small embedding problem for the given
+// mode: a connected graph of at most 9 vertices (sometimes a uniform
+// grid, usually an irregular random graph), a fanin tree of at most 8
+// nodes with at most 3 internal gates, dyadic-exact costs, delays and
+// arrivals, occasional blocked vertices and infinite placement costs
+// (possibly making the instance infeasible — callers must treat
+// "Solve errors" and "oracle frontier empty" as the same outcome), and
+// a free root 20% of the time.
+func GenProblem(rng *rand.Rand, mode embed.Mode) *embed.Problem {
+	g, nv := genGraph(rng)
+	t := genTree(rng, nv)
+
+	// Per-(node, vertex) placement costs, with a sprinkle of +Inf
+	// (forbidden slots, e.g. already-full CLBs).
+	costs := make([][]float64, len(t.Nodes))
+	for id := range t.Nodes {
+		costs[id] = make([]float64, nv)
+		for v := 0; v < nv; v++ {
+			if rng.Intn(20) == 0 {
+				costs[id][v] = math.Inf(1)
+			} else {
+				costs[id][v] = quarter(rng, 9)
+			}
+		}
+	}
+	caps := make([]int, nv)
+	for v := range caps {
+		caps[v] = 1 + rng.Intn(2)
+	}
+	return &embed.Problem{
+		G:    g,
+		T:    t,
+		Mode: mode,
+		PlaceCost: func(id embed.NodeID, v embed.Vertex) float64 {
+			return costs[id][v]
+		},
+		Capacity: func(v embed.Vertex) int { return caps[v] },
+	}
+}
+
+// genGraph returns a small connected embedding graph. One in four is a
+// uniform grid (the production shape); the rest are irregular: a random
+// spanning tree plus extra bidirectional edges, occasionally a directed
+// shortcut, occasionally a blocked vertex or two.
+func genGraph(rng *rand.Rand) (*embed.Graph, int) {
+	var g *embed.Graph
+	if rng.Intn(4) == 0 {
+		w, h := 2+rng.Intn(2), 2+rng.Intn(2) // up to 3×3
+		g = embed.NewGrid(embed.GridSpec{
+			W: w, H: h,
+			WireCost:  0.25 * float64(1+rng.Intn(4)),
+			WireDelay: quarter(rng, 4),
+		})
+	} else {
+		n := 4 + rng.Intn(6) // 4..9 vertices
+		g = embed.NewGraph(n)
+		for v := 1; v < n; v++ {
+			u := rng.Intn(v) // spanning tree: connectivity guaranteed
+			g.AddBiEdge(embed.Vertex(u), embed.Vertex(v),
+				0.25*float64(1+rng.Intn(8)), quarter(rng, 5))
+		}
+		for extra := rng.Intn(3); extra > 0; extra-- {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			cost, delay := 0.25*float64(1+rng.Intn(8)), quarter(rng, 5)
+			if rng.Intn(4) == 0 {
+				g.AddEdge(embed.Vertex(u), embed.Vertex(v), cost, delay)
+			} else {
+				g.AddBiEdge(embed.Vertex(u), embed.Vertex(v), cost, delay)
+			}
+		}
+	}
+	nv := g.NumVertices()
+	if rng.Intn(3) == 0 {
+		for k := 1 + rng.Intn(2); k > 0; k-- {
+			g.Block(embed.Vertex(rng.Intn(nv)))
+		}
+	}
+	return g, nv
+}
+
+// genTree returns a random fanin tree: 1..3 internal gates (node 0 the
+// root, later internals attached to a random earlier one), 2..4 leaves
+// spread over the internals, plus a leaf for any internal left
+// childless. Leaves land on random vertices — including blocked ones,
+// which is legal (the signal can leave but nothing can join there).
+// One leaf is marked critical for Lex-mc.
+func genTree(rng *rand.Rand, nv int) *embed.Tree {
+	nInt := 1 + rng.Intn(3)
+	t := &embed.Tree{Root: 0}
+	for i := 0; i < nInt; i++ {
+		n := embed.Node{Vertex: -1, Intrinsic: quarter(rng, 5)}
+		if i > 0 {
+			parent := rng.Intn(i)
+			t.Nodes[parent].Children = append(t.Nodes[parent].Children, embed.NodeID(i))
+		}
+		t.Nodes = append(t.Nodes, n)
+	}
+	if rng.Intn(5) != 0 {
+		t.Nodes[0].Vertex = embed.Vertex(rng.Intn(nv)) // fixed root
+	}
+	addLeaf := func(parent int) {
+		id := embed.NodeID(len(t.Nodes))
+		t.Nodes = append(t.Nodes, embed.Node{
+			Vertex: embed.Vertex(rng.Intn(nv)),
+			Arr:    quarter(rng, 13),
+		})
+		t.Nodes[parent].Children = append(t.Nodes[parent].Children, id)
+	}
+	for k := 2 + rng.Intn(3); k > 0; k-- {
+		addLeaf(rng.Intn(nInt))
+	}
+	for i := 0; i < nInt; i++ {
+		if len(t.Nodes[i].Children) == 0 {
+			addLeaf(i)
+		}
+	}
+	// Mark one leaf critical (Lex-mc's distinguished input).
+	leaves := []int{}
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			leaves = append(leaves, i)
+		}
+	}
+	t.Nodes[leaves[rng.Intn(len(leaves))]].Critical = true
+	return t
+}

@@ -1,0 +1,51 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/timing"
+)
+
+// Structural and placement invariants every engine run must preserve.
+// These are the paper's implicit legality contract: replication may add
+// cells and move flip-flops, but the result must still be a well-formed
+// netlist, legally placed, and no slower than what it started from.
+
+// CheckPlaced verifies the structural invariants of a placed design:
+//
+//   - the netlist is well-formed (single drivers, no dangling nets, no
+//     dead references, consistent equivalence classes — every replica
+//     agrees with its class on pin count and kind);
+//   - every live cell is placed, on a slot of the right type;
+//   - no slot holds more cells than its capacity.
+func CheckPlaced(nl *netlist.Netlist, pl *placement.Placement) error {
+	if err := nl.Validate(); err != nil {
+		return fmt.Errorf("oracle: netlist invariant: %w", err)
+	}
+	if err := pl.Validate(nl); err != nil {
+		return fmt.Errorf("oracle: placement invariant: %w", err)
+	}
+	if over := pl.OverCapacity(); len(over) > 0 {
+		return fmt.Errorf("oracle: placement over capacity at %d slots (first %v)", len(over), over[0])
+	}
+	return nil
+}
+
+// CheckNoRegression verifies the engine's monotonicity contract: the
+// final design's critical-path period must not exceed the baseline
+// (the engine snapshots and restores the best solution, so even a
+// failed exploration must end no worse than it began). The comparison
+// is exact — the engine restores a snapshot, not a recomputation.
+func CheckNoRegression(nl *netlist.Netlist, pl *placement.Placement, dm arch.DelayModel, baseline float64) error {
+	a, err := timing.Analyze(nl, pl, dm)
+	if err != nil {
+		return fmt.Errorf("oracle: timing invariant: %w", err)
+	}
+	if a.Period > baseline {
+		return fmt.Errorf("oracle: critical path worsened: %v > baseline %v", a.Period, baseline)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/timing"
+)
+
+// Property tests for Build over randomized circuits: for any ε-SPT
+// member set, the replication tree must mirror the paper's wiring rule
+// exactly. The expected internal set is recomputed here from the SPT
+// parent relation alone — an independent derivation, not a replay of
+// Build's recursion.
+
+// expectedInternal returns the cells Build must internalize: the
+// movable members whose SPT-parent chain to the sink runs entirely
+// through internalized cells (a leaf is never expanded, so a movable
+// member hiding behind a non-movable one stays a leaf).
+func expectedInternal(nl *netlist.Netlist, spt *timing.SPT, members map[netlist.CellID]bool) map[netlist.CellID]bool {
+	children := spt.Children(members)
+	internal := map[netlist.CellID]bool{}
+	queue := []netlist.CellID{spt.Sink}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range children[v] {
+			if Movable(nl, u) && !internal[u] {
+				internal[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return internal
+}
+
+func randomLoc(rng *rand.Rand, nl *netlist.Netlist, n int16) mapLoc {
+	loc := mapLoc{}
+	nl.Cells(func(c *netlist.Cell) {
+		loc[c.ID] = arch.Loc{X: 1 + int16(rng.Intn(int(n))), Y: 1 + int16(rng.Intn(int(n)))}
+	})
+	return loc
+}
+
+func TestBuildProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	runs := 40
+	if testing.Short() {
+		runs = 10
+	}
+	trees := 0
+	for i := 0; i < runs; i++ {
+		spec := circuits.Spec{
+			Name:    "prop",
+			LUTs:    8 + rng.Intn(20),
+			Inputs:  3 + rng.Intn(4),
+			Outputs: 2 + rng.Intn(3),
+			Seed:    rng.Int63n(1 << 30),
+		}
+		if i%3 == 1 {
+			spec.RegisteredFrac = 0.25
+		}
+		nl, err := circuits.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loc := randomLoc(rng, nl, 10)
+		a, err := timing.Analyze(nl, loc, dm())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sinks []netlist.CellID
+		nl.Cells(func(c *netlist.Cell) {
+			if c.IsSink() && !math.IsInf(a.SinkArr[c.ID], -1) {
+				sinks = append(sinks, c.ID)
+			}
+		})
+		for s := 0; s < 3 && s < len(sinks); s++ {
+			sink := sinks[rng.Intn(len(sinks))]
+			spt := timing.BuildSPT(nl, loc, dm(), a, sink)
+			eps := []float64{0, 0.15 * a.Period, 0.5 * a.Period}[rng.Intn(3)]
+			members := spt.Epsilon(eps)
+			rt, err := Build(nl, a, spt, members)
+			if err != nil {
+				t.Fatalf("run %d (seed %d) sink %d: %v", i, spec.Seed, sink, err)
+			}
+			trees++
+			checkTree(t, nl, a, spt, members, rt)
+		}
+	}
+	if trees < runs {
+		t.Fatalf("only %d trees built over %d circuits; generator is degenerate", trees, runs)
+	}
+}
+
+func checkTree(t *testing.T, nl *netlist.Netlist, a *timing.Analysis, spt *timing.SPT, members map[netlist.CellID]bool, rt *RTree) {
+	t.Helper()
+	if rt.Root().Cell != spt.Sink || rt.Root().IsLeaf() {
+		t.Fatalf("root is %d (leaf=%v), want internal node for sink %d",
+			rt.Root().Cell, rt.Root().IsLeaf(), spt.Sink)
+	}
+
+	// Internal occurrences and count match the independent derivation.
+	want := expectedInternal(nl, spt, members)
+	got := map[netlist.CellID]int{}
+	internalOccurrences := 0
+	for i := 1; i < len(rt.Nodes); i++ {
+		if !rt.Nodes[i].IsLeaf() {
+			got[rt.Nodes[i].Cell]++
+			internalOccurrences++
+		}
+	}
+	if rt.Internal != internalOccurrences {
+		t.Fatalf("Internal = %d but tree has %d internal non-root nodes", rt.Internal, internalOccurrences)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("tree internalizes %d distinct cells, ε-SPT derivation says %d (got %v, want %v)",
+			len(got), len(want), got, want)
+	}
+	for u := range want {
+		if got[u] != 1 {
+			t.Fatalf("cell %d internalized %d times, want exactly once", u, got[u])
+		}
+	}
+
+	criticals := 0
+	for i := range rt.Nodes {
+		n := &rt.Nodes[i]
+		if n.IsLeaf() {
+			// Leaves carry the STA arrival bitwise, and arrival zero
+			// iff the cell is a true input (PI or register): every LUT
+			// output arrives at least one LUT delay late.
+			if math.Float64bits(n.Arr) != math.Float64bits(a.Arr[n.Cell]) {
+				t.Fatalf("leaf %d carries Arr %v, STA says %v", n.Cell, n.Arr, a.Arr[n.Cell])
+			}
+			if (n.Arr == 0) != nl.Cell(n.Cell).IsSource() {
+				t.Fatalf("leaf %d: Arr %v vs source %v — zero arrival must mark exactly the true inputs",
+					n.Cell, n.Arr, nl.Cell(n.Cell).IsSource())
+			}
+			if n.Critical {
+				criticals++
+				if n.Arr != 0 {
+					t.Fatalf("critical leaf %d has arrival %v, want a true input", n.Cell, n.Arr)
+				}
+			}
+			continue
+		}
+		// The wiring rule: one child per connected fanin pin, in order.
+		c := nl.Cell(n.Cell)
+		var pins []int32
+		for pin, net := range c.Fanin {
+			if net != netlist.None {
+				pins = append(pins, int32(pin))
+			}
+		}
+		if len(n.Children) != len(pins) {
+			t.Fatalf("node for cell %d has %d children, cell has %d connected fanins",
+				n.Cell, len(n.Children), len(pins))
+		}
+		for k, ci := range n.Children {
+			child := &rt.Nodes[ci]
+			if child.Pin != pins[k] {
+				t.Fatalf("cell %d child %d feeds pin %d, want %d", n.Cell, k, child.Pin, pins[k])
+			}
+			if child.Cell != nl.Net(c.Fanin[pins[k]]).Driver {
+				t.Fatalf("cell %d pin %d child is cell %d, want the net driver %d",
+					n.Cell, pins[k], child.Cell, nl.Net(c.Fanin[pins[k]]).Driver)
+			}
+			if !child.IsLeaf() && !members[child.Cell] {
+				t.Fatalf("cell %d internalized outside the member set", child.Cell)
+			}
+		}
+	}
+	if criticals > 1 {
+		t.Fatalf("%d critical leaves, want at most one", criticals)
+	}
+}

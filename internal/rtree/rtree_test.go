@@ -295,7 +295,7 @@ func TestToEmbedProblem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fastest := r.SelectByBound(0)
+	fastest, _ := r.SelectFastest()
 	if fastest.Sig.D[0] > a.SinkArr[out]+1e-9 {
 		t.Errorf("embedder's fastest %v worse than current arrival %v", fastest.Sig.D[0], a.SinkArr[out])
 	}

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSpec throws arbitrary bytes at the job-spec decoder and
+// the spec validator: both must reject garbage with an error, never a
+// panic, and an accepted spec must survive re-validation (decode is
+// deterministic and side-effect free).
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add(`{"circuit":"ex5p"}`)
+	f.Add(`{"circuit":"ex5p","algo":"lex3","scale":0.2,"seed":7}`)
+	f.Add(`{"netlist":"circuit t\ninput a\noutput o a\n"}`)
+	f.Add(`{"circuit":"ex5p","unknown_field":1}`)
+	f.Add(`{"circuit":"ex5p","netlist":"x"}`)
+	f.Add(`{"timeout_ms":-5}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"scale":1e309}`)
+	f.Add("{\"circuit\":\"\x00\xff\"}")
+	f.Fuzz(func(t *testing.T, body string) {
+		spec, err := DecodeSpec(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		verr := spec.Validate()
+		if verr == nil {
+			// Validation must be stable: a spec accepted once is
+			// accepted again (no hidden state).
+			if again := spec.Validate(); again != nil {
+				t.Fatalf("Validate flapped on %q: nil then %v", body, again)
+			}
+		}
+	})
+}

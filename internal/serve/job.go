@@ -7,7 +7,9 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -50,6 +52,20 @@ type JobSpec struct {
 // maxInlineNetlist bounds inline netlist text (16 MiB, matching the
 // parser's line-buffer cap) so a single request cannot exhaust memory.
 const maxInlineNetlist = 16 << 20
+
+// DecodeSpec parses one job spec from r, rejecting unknown fields. It
+// does not validate — submission does that — but any input, however
+// hostile, must come back as an error, never a panic; the fuzz harness
+// holds it to that.
+func DecodeSpec(r io.Reader) (JobSpec, error) {
+	var spec JobSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return JobSpec{}, err
+	}
+	return spec, nil
+}
 
 // Validate rejects malformed specs up front, before the job consumes a
 // queue slot.

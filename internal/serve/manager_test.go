@@ -271,16 +271,16 @@ func TestSubmitValidation(t *testing.T) {
 	m := NewManager(Config{Workers: 1, Runner: sleepRunner(0)})
 	defer m.Shutdown(context.Background())
 	cases := []JobSpec{
-		{},                                   // neither circuit nor netlist
-		{Circuit: "nope"},                    // unknown circuit
-		{Circuit: "ex5p", Algo: "fastest"},   // unknown algorithm
-		{Circuit: "ex5p", Netlist: "input"},  // both sources
-		{Circuit: "ex5p", Scale: 7},          // scale out of range
-		{Netlist: "lut a b\n"},               // unresolvable signal
-		{Circuit: "ex5p", TimeoutMS: -1},     // negative tuning
-		{Netlist: "input a\ninput a\n"},      // duplicate cell
-		{Netlist: "widget frob\n"},           // unknown directive
-		{Circuit: "ex5p", Parallelism: -2},   // negative tuning
+		{},                                  // neither circuit nor netlist
+		{Circuit: "nope"},                   // unknown circuit
+		{Circuit: "ex5p", Algo: "fastest"},  // unknown algorithm
+		{Circuit: "ex5p", Netlist: "input"}, // both sources
+		{Circuit: "ex5p", Scale: 7},         // scale out of range
+		{Netlist: "lut a b\n"},              // unresolvable signal
+		{Circuit: "ex5p", TimeoutMS: -1},    // negative tuning
+		{Netlist: "input a\ninput a\n"},     // duplicate cell
+		{Netlist: "widget frob\n"},          // unknown directive
+		{Circuit: "ex5p", Parallelism: -2},  // negative tuning
 	}
 	for _, spec := range cases {
 		if _, err := m.Submit(spec); err == nil {
