@@ -34,9 +34,12 @@ race:
 vet:
 	$(GO) vet ./...
 
-# replint is the project's own static analyzer (cmd/replint): custom
-# determinism/correctness rules the parallel solver depends on. Zero
-# unsuppressed findings is part of `make check`.
+# replint is the project's own static analyzer (cmd/replint): the
+# lexical determinism/correctness rules plus the module-wide dataflow
+# suite (detflow nondeterminism taint, ctxstride cancellation polling,
+# hotalloc DP-hot-path allocations, shardwrite worker-shard writes).
+# Zero unsuppressed findings is part of `make check`; see
+# `go run ./cmd/replint -rules` for the catalog.
 lint:
 	$(GO) run ./cmd/replint ./...
 

@@ -8,15 +8,26 @@
 //	replint [flags] [packages]
 //
 // Packages default to ./... relative to the module root, which is
-// found by walking up from the working directory to go.mod.
+// found by walking up from the working directory to go.mod. The whole
+// module is always loaded and summarized (the interprocedural rules
+// need module-wide facts); the package arguments select which
+// packages' findings are reported.
+//
+// Findings print with paths relative to the module root regardless of
+// -C or the working directory, so editor jump-to-line works from
+// anywhere. With -json, findings are emitted as a JSON array of
+// {file, line, col, rule, msg, suppressed, reason} objects —
+// suppressed findings included and flagged.
 //
 // Exit status is 1 when any unsuppressed finding (or malformed replint
 // directive) is reported, 2 on operational errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -24,22 +35,38 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(argv []string) int {
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Rule       string `json:"rule"`
+	Msg        string `json:"msg"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("replint", flag.ExitOnError)
+	fs.SetOutput(stderr)
 	rules := fs.Bool("rules", false, "print the rule catalog and exit")
 	verbose := fs.Bool("v", false, "also show suppressed findings and type-check diagnostics")
 	dir := fs.String("C", "", "change to this directory before resolving the module root")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array (suppressed findings included, flagged)")
 	fs.Parse(argv)
 
 	if *rules {
 		for _, a := range analysis.All() {
-			fmt.Printf("%s\n\t%s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%s\n\t%s\n", a.Name, a.Doc)
 		}
-		fmt.Printf("\nsuppression:\n\t//replint:ignore rule[,rule...] -- reason\n" +
-			"\t(trailing: suppresses its own line; standalone: the next line)\n")
+		fmt.Fprintf(stdout, "\nsuppression:\n\t//replint:ignore rule[,rule...] -- reason\n"+
+			"\t(trailing: suppresses its own line; standalone: the next line)\n"+
+			"\t//replint:metadata -- reason\n"+
+			"\t(on a struct field or type decl: field carries sanctioned\n"+
+			"\tnondeterministic metadata; detflow absorbs stores into it)\n")
 		return 0
 	}
 
@@ -47,20 +74,25 @@ func run(argv []string) int {
 	if start == "" {
 		wd, err := os.Getwd()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "replint:", err)
+			fmt.Fprintln(stderr, "replint:", err)
 			return 2
 		}
 		start = wd
 	}
 	moduleDir, err := findModuleRoot(start)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "replint:", err)
+		fmt.Fprintln(stderr, "replint:", err)
 		return 2
 	}
 
 	loader, err := analysis.NewLoader(moduleDir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "replint:", err)
+		fmt.Fprintln(stderr, "replint:", err)
+		return 2
+	}
+	mod, err := analysis.BuildModule(loader)
+	if err != nil {
+		fmt.Fprintln(stderr, "replint:", err)
 		return 2
 	}
 	patterns := fs.Args()
@@ -69,39 +101,70 @@ func run(argv []string) int {
 	}
 	paths, err := loader.Expand(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "replint:", err)
+		fmt.Fprintln(stderr, "replint:", err)
 		return 2
 	}
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "replint: no packages match", patterns)
+		fmt.Fprintln(stderr, "replint: no packages match", patterns)
 		return 2
 	}
 
+	// relFile maps a finding's absolute filename to a module-relative,
+	// forward-slash path so output is stable across -C and cwd.
+	relFile := func(name string) string {
+		if rel, err := filepath.Rel(moduleDir, name); err == nil {
+			return filepath.ToSlash(rel)
+		}
+		return filepath.ToSlash(name)
+	}
+
 	bad := 0
+	var jsonOut []jsonFinding
 	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "replint: %s: %v\n", path, err)
+		pkg := mod.Package(path)
+		if pkg == nil {
+			fmt.Fprintf(stderr, "replint: %s: not part of the module\n", path)
 			return 2
 		}
 		if *verbose {
 			for _, terr := range pkg.TypeErrors {
-				fmt.Fprintf(os.Stderr, "replint: typecheck (best-effort): %v\n", terr)
+				fmt.Fprintf(stderr, "replint: typecheck (best-effort): %v\n", terr)
 			}
 		}
-		for _, f := range analysis.RunAnalyzers(pkg, analysis.All()) {
+		for _, f := range mod.RunPackage(pkg, analysis.All()) {
+			f.Pos.Filename = relFile(f.Pos.Filename)
+			if *asJSON {
+				jsonOut = append(jsonOut, jsonFinding{
+					File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+					Rule: f.Rule, Msg: f.Msg,
+					Suppressed: f.Suppressed, Reason: f.Reason,
+				})
+			}
 			if f.Suppressed {
-				if *verbose {
-					fmt.Printf("%s [suppressed: %s]\n", f, f.Reason)
+				if !*asJSON && *verbose {
+					fmt.Fprintf(stdout, "%s [suppressed: %s]\n", f, f.Reason)
 				}
 				continue
 			}
-			fmt.Println(f)
+			if !*asJSON {
+				fmt.Fprintln(stdout, f)
+			}
 			bad++
 		}
 	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if jsonOut == nil {
+			jsonOut = []jsonFinding{}
+		}
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(stderr, "replint:", err)
+			return 2
+		}
+	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "replint: %d finding(s)\n", bad)
+		fmt.Fprintf(stderr, "replint: %d finding(s)\n", bad)
 		return 1
 	}
 	return 0

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureRoot is the analysis fixture module: a self-contained go.mod
+// tree with known findings in every rule.
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestModuleRelativePaths runs replint against the fixture module from
+// several working directories and directories passed via -C: finding
+// paths must come out module-relative with forward slashes regardless,
+// so editor jump-to-line and the CI problem matcher work from anywhere.
+func TestModuleRelativePaths(t *testing.T) {
+	root := fixtureRoot(t)
+	sub := filepath.Join(root, "internal", "timing")
+	cases := []struct {
+		name  string
+		chdir string // t.Chdir target; "" stays put
+		argv  []string
+	}{
+		{"dash-C-module-root", "", []string{"-C", root, "./..."}},
+		{"dash-C-subdirectory", "", []string{"-C", sub, "./..."}},
+		{"cwd-module-root", root, []string{"./..."}},
+		{"cwd-subdirectory", sub, []string{"./..."}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.chdir != "" {
+				t.Chdir(tc.chdir)
+			}
+			var stdout, stderr bytes.Buffer
+			code := run(tc.argv, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (fixtures contain findings); stderr:\n%s", code, stderr.String())
+			}
+			lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+			if len(lines) == 0 || lines[0] == "" {
+				t.Fatal("no findings printed")
+			}
+			for _, line := range lines {
+				if strings.Contains(line, "\\") {
+					t.Errorf("finding path contains a backslash: %q", line)
+				}
+				if !strings.HasPrefix(line, "internal/") {
+					t.Errorf("finding path is not module-relative: %q", line)
+				}
+			}
+		})
+	}
+}
+
+// TestJSONOutput decodes -json output and checks the wire contract:
+// module-relative files, populated positions, suppressed findings
+// included and flagged with their directive reason.
+func TestJSONOutput(t *testing.T) {
+	root := fixtureRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON finding array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output is empty; fixtures contain findings")
+	}
+	var suppressed, unsuppressed int
+	for _, f := range findings {
+		if f.File == "" || filepath.IsAbs(f.File) || strings.Contains(f.File, "\\") {
+			t.Errorf("file %q is not a module-relative forward-slash path", f.File)
+		}
+		if f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("%s: missing position: line=%d col=%d", f.File, f.Line, f.Col)
+		}
+		if f.Rule == "" || f.Msg == "" {
+			t.Errorf("%s:%d: empty rule or message", f.File, f.Line)
+		}
+		if f.Suppressed {
+			suppressed++
+			if f.Reason == "" {
+				t.Errorf("%s:%d: suppressed finding lost its directive reason", f.File, f.Line)
+			}
+		} else {
+			unsuppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("no suppressed findings in JSON output; fixtures have wantsuppressed lines")
+	}
+	if unsuppressed == 0 {
+		t.Error("no unsuppressed findings in JSON output")
+	}
+}
+
+// TestRulesCatalog checks that every shipped rule appears in -rules.
+func TestRulesCatalog(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rules"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-rules exit code = %d, want 0", code)
+	}
+	for _, rule := range []string{
+		"maprange", "floatcmp", "scratchleak", "sharedwrite",
+		"detflow", "ctxstride", "hotalloc", "shardwrite",
+	} {
+		if !strings.Contains(stdout.String(), rule+"\n") {
+			t.Errorf("-rules catalog is missing %s", rule)
+		}
+	}
+	for _, directive := range []string{"replint:ignore", "replint:metadata"} {
+		if !strings.Contains(stdout.String(), directive) {
+			t.Errorf("-rules catalog does not document //%s", directive)
+		}
+	}
+}

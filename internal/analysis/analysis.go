@@ -38,7 +38,12 @@ func (f Finding) String() string {
 
 // Pass is the per-package context handed to each analyzer.
 type Pass struct {
-	Pkg    *Package
+	Pkg *Package
+	// Mod is the whole-module dataflow context. It is non-nil when the
+	// package is analyzed through Module.RunPackage; the interprocedural
+	// rules no-op without it, and floatcmp loses only its zero-sentinel
+	// exemption.
+	Mod    *Module
 	report func(pos token.Pos, rule, msg string)
 }
 
@@ -83,6 +88,10 @@ func All() []*Analyzer {
 		FloatCmp,
 		ScratchLeak,
 		SharedWrite,
+		DetFlow,
+		CtxStride,
+		HotAlloc,
+		ShardWrite,
 	}
 }
 
@@ -90,12 +99,20 @@ func All() []*Analyzer {
 // the findings — directive-suppressed ones included but marked — in
 // file/line order. Malformed replint directives are reported under the
 // reserved rule "directive", which cannot be suppressed.
+//
+// This entry point has no module context: the interprocedural rules
+// report nothing through it. Prefer BuildModule + Module.RunPackage.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
+	return runAnalyzers(nil, pkg, analyzers)
+}
+
+func runAnalyzers(mod *Module, pkg *Package, analyzers []*Analyzer) []Finding {
 	dirs := collectDirectives(pkg)
 	var findings []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
 			Pkg: pkg,
+			Mod: mod,
 			report: func(pos token.Pos, rule, msg string) {
 				findings = append(findings, Finding{Pos: pkg.Fset.Position(pos), Rule: rule, Msg: msg})
 			},

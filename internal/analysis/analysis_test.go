@@ -28,6 +28,14 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Module mode, exactly as cmd/replint runs: the whole fixture
+	// module is loaded and summarized once, so the interprocedural
+	// rules (detflow, ctxstride, hotalloc, shardwrite) see the same
+	// call-graph and taint facts they would in the real tree.
+	mod, err := BuildModule(loader)
+	if err != nil {
+		t.Fatal(err)
+	}
 	paths, err := loader.Expand([]string{"./..."})
 	if err != nil {
 		t.Fatal(err)
@@ -38,9 +46,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	rulesSeen := map[string]bool{}
 	for _, path := range paths {
 		t.Run(strings.TrimPrefix(path, "fixture/"), func(t *testing.T) {
-			pkg, err := loader.Load(path)
-			if err != nil {
-				t.Fatal(err)
+			pkg := mod.Package(path)
+			if pkg == nil {
+				t.Fatalf("package %s missing from the fixture module", path)
 			}
 			if len(pkg.TypeErrors) > 0 {
 				t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
@@ -69,7 +77,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			}
 
 			got := map[key]Finding{}
-			for _, f := range RunAnalyzers(pkg, All()) {
+			for _, f := range mod.RunPackage(pkg, All()) {
 				got[key{f.Pos.Filename, f.Pos.Line, f.Rule}] = f
 				rulesSeen[f.Rule] = true
 			}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"strings"
@@ -28,7 +29,13 @@ import (
 //   - comparisons inside a function literal passed directly to a sort
 //     or slices call: a comparator must induce a strict weak ordering,
 //     and an epsilon tie there would break transitivity — exact
-//     comparison is the only correct choice in that position.
+//     comparison is the only correct choice in that position;
+//   - (module mode only) comparisons against literal 0 where the
+//     compared storage is never written by arithmetic anywhere in the
+//     module — the zero-means-unset idiom for optional config fields.
+//     0 there can only be the zero value or an explicitly stored
+//     constant, both exact by construction; the def-use pass proves
+//     the absence of arithmetic writes (see zeroSentinelExempt).
 const floatCmpRule = "floatcmp"
 
 var FloatCmp = &Analyzer{
@@ -94,6 +101,9 @@ func runFloatCmp(pass *Pass) {
 				if isConstExpr(pass, ex.X) && isConstExpr(pass, ex.Y) {
 					return true
 				}
+				if zeroUnsetCompare(pass, file, ex) {
+					return true
+				}
 				pass.Report(ex.OpPos, floatCmpRule, fmt.Sprintf(
 					"exact %s on float operands %s and %s; compare with an epsilon or designate the enclosing function //replint:floatcmp-helper",
 					ex.Op, exprString(ex.X), exprString(ex.Y)))
@@ -111,6 +121,38 @@ func runFloatCmp(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// zeroUnsetCompare recognizes the zero-means-unset idiom in module
+// mode: one operand is the literal constant 0 and the other is
+// storage the whole-module facts prove is never arithmetic-written.
+func zeroUnsetCompare(pass *Pass, file *ast.File, ex *ast.BinaryExpr) bool {
+	if pass.Mod == nil {
+		return false
+	}
+	var other ast.Expr
+	switch {
+	case isZeroConst(pass, ex.X):
+		other = ex.Y
+	case isZeroConst(pass, ex.Y):
+		other = ex.X
+	default:
+		return false
+	}
+	fn := enclosingFuncDecl(file, int(ex.Pos()))
+	return zeroSentinelExempt(pass.Mod, pass.Pkg, fn, other)
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
 }
 
 func isFloat(t types.Type) bool {

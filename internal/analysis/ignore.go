@@ -19,6 +19,13 @@ import (
 //	    Placed in a function's doc comment, designates that function as
 //	    one of the blessed comparison helpers: exact float comparisons
 //	    inside it are allowed (see the floatcmp rule).
+//
+//	//replint:metadata -- reason
+//	    Placed on a struct field (doc or trailing comment) or on a type
+//	    declaration, designates the field(s) as sanctioned
+//	    nondeterministic metadata (wall-clock diagnostics): the detflow
+//	    taint engine absorbs values stored into them. The reason is
+//	    mandatory, same as for ignore directives.
 
 // directiveRule is the reserved rule ID for malformed directives.
 const directiveRule = "directive"
@@ -63,6 +70,16 @@ func (d *directives) addComment(pkg *Package, c *ast.Comment) {
 		return // handled structurally by floatcmp
 	}
 	pos := pkg.Fset.Position(c.Pos())
+	if strings.HasPrefix(text, metadataPrefix) {
+		if !metadataRE.MatchString(text) {
+			d.malformed = append(d.malformed, Finding{
+				Pos:  pos,
+				Rule: directiveRule,
+				Msg:  `malformed replint directive; want "//replint:metadata -- reason"`,
+			})
+		}
+		return // field resolution happens in collectMetadataFields
+	}
 	m := ignoreRE.FindStringSubmatch(text)
 	if m == nil {
 		d.malformed = append(d.malformed, Finding{

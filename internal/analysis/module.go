@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Module is the whole-module analysis context: every package of the
+// module loaded through one Loader, plus the interprocedural summaries
+// the dataflow rules consume — the call graph, per-function def-use
+// tables, the module-wide storage (arithmetic-write) facts, and the
+// determinism-taint solution.
+//
+// Per-file syntactic rules work from a Pass alone; the interprocedural
+// rules (detflow, ctxstride, hotalloc, shardwrite) and the floatcmp
+// zero-sentinel exemption consult Pass.Mod, and degrade to no-ops when
+// it is nil (the legacy per-package entry point).
+type Module struct {
+	Loader *Loader
+	// Pkgs are all packages of the module in import-path order.
+	Pkgs []*Package
+
+	// Funcs are all declared functions and methods with bodies, in
+	// package/file/position order (the deterministic traversal order
+	// every summary builder uses).
+	Funcs []*ModFunc
+
+	byObj  map[*types.Func]*ModFunc
+	byPath map[string]*Package
+
+	cg     *callGraph
+	defuse map[*types.Func]*defUse
+	facts  *storageFacts
+	taint  *taintFacts
+	meta   map[types.Object]bool // //replint:metadata-designated fields
+	polls  map[*types.Func]bool  // transitively polls cancellation
+	hot    map[*types.Func]bool  // reachable from an embed Solve root
+}
+
+// ModFunc is one declared function or method with a body. Function
+// literals are not separate nodes: their statements are attributed to
+// the enclosing declaration, which is the right granularity for
+// flow-insensitive summaries (a literal's locals are distinct objects
+// anyway).
+type ModFunc struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// BuildModule loads every package of the loader's module and computes
+// the interprocedural summaries. The load is cached in the loader, so
+// a driver that afterwards asks for individual packages pays nothing
+// extra.
+func BuildModule(loader *Loader) (*Module, error) {
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Loader: loader,
+		byObj:  map[*types.Func]*ModFunc{},
+		byPath: map[string]*Package{},
+		defuse: map[*types.Func]*defUse{},
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+		m.byPath[path] = pkg
+	}
+	m.collectFuncs()
+	m.meta = collectMetadataFields(m)
+	for _, f := range m.Funcs {
+		m.defuse[f.Obj] = buildDefUse(f.Pkg, f.Decl)
+	}
+	m.cg = buildCallGraph(m)
+	m.facts = buildStorageFacts(m)
+	m.taint = buildTaint(m)
+	m.polls = buildPollsSummary(m)
+	m.hot = buildHotSet(m)
+	return m, nil
+}
+
+// Package returns the loaded package with the given import path, or
+// nil when the path is not part of the module.
+func (m *Module) Package(path string) *Package { return m.byPath[path] }
+
+// FuncOf returns the ModFunc for a declared function object, or nil
+// for externals and function values.
+func (m *Module) FuncOf(obj *types.Func) *ModFunc { return m.byObj[obj] }
+
+func (m *Module) collectFuncs() {
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				mf := &ModFunc{Pkg: pkg, Decl: fn, Obj: obj}
+				m.Funcs = append(m.Funcs, mf)
+				m.byObj[obj] = mf
+			}
+		}
+	}
+}
+
+// RunPackage applies the analyzers to one module package with the
+// interprocedural context attached, returning findings exactly as
+// RunAnalyzers does.
+func (m *Module) RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	return runAnalyzers(m, pkg, analyzers)
+}
+
+// relPath strips the module-path prefix off an import path; the
+// package-subtree filters (maprange, hotalloc, the serve JSON sink)
+// match on this module-relative form so they apply identically to the
+// real tree and the fixture module.
+func relPath(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return ""
+}
+
+// funcsInPackage returns the module functions declared in pkg, in
+// declaration order.
+func (m *Module) funcsInPackage(pkg *Package) []*ModFunc {
+	var out []*ModFunc
+	for _, f := range m.Funcs {
+		if f.Pkg == pkg {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// calleeFunc resolves a call expression to the *types.Func it
+// statically invokes: a declared function, a method, or an external.
+// Function values, method expressions used as values, and type
+// conversions yield nil.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// enclosingFuncDecl finds the FuncDecl whose body spans pos in the
+// file, or nil for package-level positions.
+func enclosingFuncDecl(file *ast.File, pos int) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			if int(fn.Pos()) <= pos && pos <= int(fn.End()) {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// sortedFuncs returns the keys of a func-keyed set in source order,
+// for deterministic reporting out of fixpoint results.
+func sortedFuncs(set map[*types.Func]bool) []*types.Func {
+	out := make([]*types.Func, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

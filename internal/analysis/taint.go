@@ -1,0 +1,914 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// taint.go is the determinism-taint engine. It computes, module-wide,
+// which storage locations (locals, fields, package vars — one fact
+// per types.Object, struct fields field-based across all instances)
+// may hold a value derived from a nondeterminism source:
+//
+//	wallclock — time.Now / time.Since / time.Until
+//	mathrand  — math/rand package-level functions (the shared global
+//	            source; methods on a seeded *rand.Rand are fine)
+//	maporder  — map iteration bindings
+//	goorder   — receives from channels fed by multiple goroutines
+//	            (completion order), detected via go-launched literals
+//	ptrfmt    — fmt verbs formatting pointers (%p)
+//
+// Propagation is a flow-insensitive monotone fixpoint over
+// assignments, composite literals, call argument/parameter bindings
+// (with pointer back-edges), returns, and channel sends. Struct
+// values carry the union of their fields' taint when passed around
+// (typeFieldTaint). The lattice is the powerset of the five kinds;
+// each kind keeps its earliest source position for reporting.
+//
+// Soundness limits (documented in DESIGN.md): calls through function
+// values and reflection propagate nothing; field-based struct facts
+// conflate instances (a taint on one instance's field taints all);
+// containers are conflated with their elements.
+//
+// The //replint:metadata directive punches a deliberate hole: a store
+// into an annotated field absorbs taint. It designates fields that
+// are *supposed* to be nondeterministic diagnostics (wall-clock
+// durations in job status JSON) and are excluded from the
+// determinism contract.
+
+// taintSet maps source kind → earliest source position (for stable,
+// deterministic messages).
+type taintSet map[string]token.Pos
+
+func (s taintSet) mergeFrom(o taintSet) bool {
+	grew := false
+	for k, p := range o {
+		have, ok := s[k]
+		if !ok {
+			s[k] = p
+			grew = true
+		} else if p < have {
+			s[k] = p
+		}
+	}
+	return grew
+}
+
+// without returns the set minus one kind (copy-on-write; the receiver
+// is not modified).
+func (s taintSet) without(kind string) taintSet {
+	if _, ok := s[kind]; !ok {
+		return s
+	}
+	out := taintSet{}
+	for k, p := range s {
+		if k != kind {
+			out[k] = p
+		}
+	}
+	return out
+}
+
+func (s taintSet) describe() string {
+	kinds := make([]string, 0, len(s))
+	for k := range s {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return strings.Join(kinds, "+")
+}
+
+type taintFacts struct {
+	mod     *Module
+	storage map[types.Object]taintSet
+	ret     map[*types.Func]taintSet
+	// writeParam[f][i]: f may write through its i-th parameter
+	// (pointer/slice/map reference); i == -1 is the receiver.
+	writeParam map[*types.Func]map[int]bool
+	// sinkParam[f][i]: the i-th parameter flows to a determinism sink
+	// inside f (transitively); i == -1 is the receiver.
+	sinkParam map[*types.Func]map[int]bool
+	// multiSend marks channel objects sent to from goroutines with
+	// more than one instance (receive order is scheduling-dependent).
+	multiSend map[types.Object]bool
+	changed   bool
+}
+
+func buildTaint(m *Module) *taintFacts {
+	t := &taintFacts{
+		mod:        m,
+		storage:    map[types.Object]taintSet{},
+		ret:        map[*types.Func]taintSet{},
+		writeParam: map[*types.Func]map[int]bool{},
+		sinkParam:  map[*types.Func]map[int]bool{},
+		multiSend:  map[types.Object]bool{},
+	}
+	t.findMultiSendChans()
+	t.seedSinkParams()
+	for pass := 0; pass < 40; pass++ {
+		t.changed = false
+		for _, f := range m.Funcs {
+			t.walkFunc(f)
+		}
+		if !t.changed {
+			break
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Multi-sender channel detection.
+
+func (t *taintFacts) findMultiSendChans() {
+	// sites counts distinct single-instance go-statements sending on a
+	// channel; a send from a loop-launched goroutine is multi at once.
+	sites := map[types.Object]int{}
+	for _, f := range t.mod.Funcs {
+		var loops [][2]token.Pos
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ForStmt:
+				loops = append(loops, [2]token.Pos{st.Body.Pos(), st.Body.End()})
+			case *ast.RangeStmt:
+				loops = append(loops, [2]token.Pos{st.Body.Pos(), st.Body.End()})
+			}
+			return true
+		})
+		inLoop := func(pos token.Pos) bool {
+			for _, r := range loops {
+				if r[0] <= pos && pos <= r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit := launchedLiteral(f.Pkg, f.Decl, gs.Call)
+			if lit == nil {
+				return true
+			}
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				send, ok := inner.(*ast.SendStmt)
+				if !ok {
+					return true
+				}
+				ch := storageRoot(f.Pkg, send.Chan)
+				if ch == nil {
+					return true
+				}
+				if inLoop(gs.Pos()) {
+					t.multiSend[ch] = true
+				} else if sites[ch]++; sites[ch] >= 2 {
+					t.multiSend[ch] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// launchedLiteral resolves `go f()` to a function literal: either
+// written in place or bound to a local whose single definition is a
+// literal.
+func launchedLiteral(pkg *Package, decl *ast.FuncDecl, call *ast.CallExpr) *ast.FuncLit {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun
+	case *ast.Ident:
+		obj := pkg.Info.ObjectOf(fun)
+		if obj == nil {
+			return nil
+		}
+		var found *ast.FuncLit
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || pkg.Info.ObjectOf(id) != obj {
+					continue
+				}
+				if lit, ok := as.Rhs[i].(*ast.FuncLit); ok {
+					found = lit
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// The per-function transfer walk.
+
+func (t *taintFacts) walkFunc(f *ModFunc) {
+	pkg := f.Pkg
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			t.transferAssign(f, st)
+		case *ast.RangeStmt:
+			t.transferRange(f, st)
+		case *ast.SendStmt:
+			if ch := storageRoot(pkg, st.Chan); ch != nil {
+				t.addTaint(ch, t.exprTaint(f, st.Value))
+			}
+		case *ast.ReturnStmt:
+			set := taintSet{}
+			if len(st.Results) == 0 {
+				// Bare return with named results.
+				if f.Decl.Type.Results != nil {
+					for _, fl := range f.Decl.Type.Results.List {
+						for _, name := range fl.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil && !isErrorType(obj.Type()) {
+								set.mergeFrom(t.storage[obj])
+							}
+						}
+					}
+				}
+			}
+			for _, res := range st.Results {
+				if isErrorType(pkg.typeOf(res)) {
+					continue
+				}
+				set.mergeFrom(t.exprTaint(f, res))
+				set.mergeFrom(t.typeFieldTaint(pkg.typeOf(res), nil))
+			}
+			if len(set) > 0 {
+				if t.ret[f.Obj] == nil {
+					t.ret[f.Obj] = taintSet{}
+				}
+				if t.ret[f.Obj].mergeFrom(set) {
+					t.changed = true
+				}
+			}
+		case *ast.CallExpr:
+			t.transferCall(f, st)
+		case *ast.CompositeLit:
+			t.transferCompositeLit(f, st)
+		}
+		return true
+	})
+}
+
+func (t *taintFacts) transferAssign(f *ModFunc, st *ast.AssignStmt) {
+	pkg := f.Pkg
+	store := func(lhs ast.Expr, set taintSet) {
+		target := storageRoot(pkg, lhs)
+		if target == nil {
+			return
+		}
+		if t.mod.meta[target] {
+			return // //replint:metadata absorbs
+		}
+		// A store into a map element is order-insensitive: whatever
+		// order a range walked its source in, each key maps to the
+		// same value, so the maporder component is laundered (the
+		// canonical map-copy loop in Clone-style code is clean).
+		if isMapElementStore(pkg, lhs) {
+			set = set.without("maporder")
+		}
+		t.addTaint(target, set)
+		t.noteWriteThrough(f, lhs)
+	}
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			store(lhs, t.exprTaint(f, st.Rhs[i]))
+		}
+		return
+	}
+	// Tuple assignment: every lhs gets the rhs taint.
+	set := t.exprTaint(f, st.Rhs[0])
+	for _, lhs := range st.Lhs {
+		store(lhs, set)
+	}
+}
+
+func (t *taintFacts) transferRange(f *ModFunc, st *ast.RangeStmt) {
+	pkg := f.Pkg
+	set := taintSet{}
+	set.mergeFrom(t.exprTaint(f, st.X))
+	containerT := pkg.typeOf(st.X)
+	if containerT != nil {
+		switch containerT.Underlying().(type) {
+		case *types.Map:
+			set.mergeFrom(taintSet{"maporder": st.For})
+		case *types.Chan:
+			if ch := storageRoot(pkg, st.X); ch != nil && t.multiSend[ch] {
+				set.mergeFrom(taintSet{"goorder": st.For})
+			}
+		}
+	}
+	if len(set) == 0 {
+		return
+	}
+	for _, bind := range []ast.Expr{st.Key, st.Value} {
+		if bind == nil {
+			continue
+		}
+		if target := storageRoot(pkg, bind); target != nil && !t.mod.meta[target] {
+			t.addTaint(target, set)
+		}
+	}
+}
+
+func (t *taintFacts) transferCompositeLit(f *ModFunc, lit *ast.CompositeLit) {
+	pkg := f.Pkg
+	tt := pkg.typeOf(lit)
+	if tt == nil {
+		return
+	}
+	if p, ok := tt.Underlying().(*types.Pointer); ok {
+		tt = p.Elem()
+	}
+	st, ok := tt.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var field types.Object
+		var val ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				field = fieldByName(st, id.Name)
+			}
+			val = kv.Value
+		} else if i < st.NumFields() {
+			field, val = st.Field(i), elt
+		}
+		if field == nil || val == nil || t.mod.meta[field] {
+			continue
+		}
+		t.addTaint(field, t.exprTaint(f, val))
+	}
+}
+
+// transferCall binds argument taint into callee parameters, applies
+// pointer back-edges, and lifts the callee's write/sink summaries
+// into the caller's own summaries when the argument is itself one of
+// the caller's parameters.
+func (t *taintFacts) transferCall(f *ModFunc, call *ast.CallExpr) {
+	pkg := f.Pkg
+	callee := calleeFunc(pkg, call)
+	if callee == nil {
+		return
+	}
+	mf := t.mod.byObj[callee]
+	if mf == nil {
+		return // external; exprTaint handles value flow
+	}
+	recvObj, params := signatureObjects(mf)
+	// Receiver binding for method calls written obj.M(...).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && recvObj != nil {
+		set := t.exprTaint(f, sel.X)
+		set.mergeFrom(t.typeFieldTaint(pkg.typeOf(sel.X), nil))
+		t.addTaint(recvObj, set)
+		t.liftSummaries(f, call, sel.X, callee, -1)
+	}
+	for i, arg := range call.Args {
+		if i >= len(params) {
+			// Variadic tail: bind into the last parameter.
+			if len(params) == 0 {
+				break
+			}
+			i = len(params) - 1
+		}
+		p := params[i]
+		if p == nil {
+			continue
+		}
+		set := t.exprTaint(f, arg)
+		set.mergeFrom(t.typeFieldTaint(pkg.typeOf(arg), nil))
+		t.addTaint(p, set)
+		// Pointer back-edge: writes through the parameter surface in
+		// the argument's storage.
+		if referenceLike(pkg.typeOf(arg)) {
+			if root := storageRoot(pkg, deref(arg)); root != nil && !t.mod.meta[root] {
+				t.addTaint(root, t.storage[p])
+			}
+		}
+		t.liftSummaries(f, call, arg, callee, i)
+	}
+}
+
+// liftSummaries propagates writeParam/sinkParam facts one call level
+// up: when callee writes through (or sinks) its slot and our argument
+// is rooted at one of our own parameters, we write/sink that slot
+// too. One level of local indirection is chased through def-use
+// (`ns := &r.sols[i]; accept(ns, ...)` still marks the receiver).
+func (t *taintFacts) liftSummaries(f *ModFunc, call *ast.CallExpr, arg ast.Expr, callee *types.Func, slot int) {
+	if !t.writeParam[callee][slot] && !t.sinkParam[callee][slot] {
+		return
+	}
+	myRecv, myParams := signatureObjects(f)
+	classify := func(obj types.Object) (int, bool) {
+		if obj == nil {
+			return 0, false
+		}
+		if obj == myRecv {
+			return -1, true
+		}
+		for i, p := range myParams {
+			if obj == p {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	root := syntacticBase(f.Pkg, arg)
+	mySlot, ok := classify(root)
+	if !ok && root != nil {
+		// Chase one def level: local derived from a param/receiver
+		// region (`ns := &r.sols[i]; accept(ns, ...)` still writes
+		// through the receiver as far as callers can tell). Only
+		// reference-typed defs alias; a value copy severs the link.
+		if du := t.mod.defuse[f.Obj]; du != nil {
+			for _, rec := range du.defs[root] {
+				if rec.rhs == nil || !referenceLike(f.Pkg.typeOf(rec.rhs)) {
+					continue
+				}
+				if s, ok2 := classify(syntacticBase(f.Pkg, rec.rhs)); ok2 {
+					mySlot, ok = s, true
+					break
+				}
+			}
+		}
+	}
+	if !ok {
+		return
+	}
+	if t.writeParam[callee][slot] {
+		t.setSummary(t.writeParam, f.Obj, mySlot)
+	}
+	if t.sinkParam[callee][slot] {
+		t.setSummary(t.sinkParam, f.Obj, mySlot)
+	}
+}
+
+func (t *taintFacts) setSummary(m map[*types.Func]map[int]bool, f *types.Func, slot int) {
+	if m[f] == nil {
+		m[f] = map[int]bool{}
+	}
+	if !m[f][slot] {
+		m[f][slot] = true
+		t.changed = true
+	}
+}
+
+// noteWriteThrough records a writeParam summary when the assignment
+// target is reached through a parameter or the receiver (a selector,
+// index, or deref rooted there — a bare rebind of the parameter
+// itself is invisible to the caller and does not count).
+func (t *taintFacts) noteWriteThrough(f *ModFunc, lhs ast.Expr) {
+	if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		return
+	}
+	base := syntacticBase(f.Pkg, lhs)
+	if base == nil {
+		return
+	}
+	recvObj, params := signatureObjects(f)
+	classify := func(o types.Object) (int, bool) {
+		if o == recvObj && recvObj != nil {
+			return -1, true
+		}
+		for i, p := range params {
+			if o == p && p != nil {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	slot, hit := classify(base)
+	if !hit {
+		// One def level: a local alias of a param/receiver region
+		// (`ns := &r.sols[id]; ns.at[v] = ...` writes through the
+		// receiver as far as callers can tell). Only reference-typed
+		// defs alias; a value copy severs the link.
+		if du := t.mod.defuse[f.Obj]; du != nil {
+			for _, rec := range du.defs[base] {
+				if rec.rhs == nil || !referenceLike(f.Pkg.typeOf(rec.rhs)) {
+					continue
+				}
+				if s, ok2 := classify(syntacticBase(f.Pkg, rec.rhs)); ok2 {
+					slot, hit = s, true
+					break
+				}
+			}
+		}
+	}
+	if hit {
+		t.setSummary(t.writeParam, f.Obj, slot)
+	}
+}
+
+// signatureObjects returns the receiver object (nil for functions)
+// and parameter objects of a declared function.
+func signatureObjects(f *ModFunc) (types.Object, []types.Object) {
+	var recv types.Object
+	if f.Decl.Recv != nil {
+		for _, fl := range f.Decl.Recv.List {
+			for _, name := range fl.Names {
+				recv = f.Pkg.Info.Defs[name]
+			}
+		}
+	}
+	var params []types.Object
+	if f.Decl.Type.Params != nil {
+		for _, fl := range f.Decl.Type.Params.List {
+			if len(fl.Names) == 0 {
+				params = append(params, nil) // unnamed parameter
+				continue
+			}
+			for _, name := range fl.Names {
+				params = append(params, f.Pkg.Info.Defs[name])
+			}
+		}
+	}
+	return recv, params
+}
+
+// isMapElementStore reports whether lhs writes a map element
+// (m[k] = v).
+func isMapElementStore(pkg *Package, lhs ast.Expr) bool {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tt := pkg.typeOf(idx.X)
+	if tt == nil {
+		return false
+	}
+	_, isMap := tt.Underlying().(*types.Map)
+	return isMap
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func referenceLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// syntacticBase unwraps selectors, indexes, slices, derefs, and &
+// down to the base identifier's object — the storage a *caller* would
+// say the expression is rooted at. Unlike storageRoot it never
+// resolves a selector to its field object, so the result is
+// comparable against receiver/parameter objects.
+func syntacticBase(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch ex := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pkg.Info.ObjectOf(ex)
+		case *ast.SelectorExpr:
+			e = ex.X
+		case *ast.IndexExpr:
+			e = ex.X
+		case *ast.SliceExpr:
+			e = ex.X
+		case *ast.StarExpr:
+			e = ex.X
+		case *ast.UnaryExpr:
+			if ex.Op != token.AND {
+				return nil
+			}
+			e = ex.X
+		default:
+			return nil
+		}
+	}
+}
+
+// deref unwraps a leading & so the storage root of `&x.f` is x.f.
+func deref(e ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X
+	}
+	return e
+}
+
+func (t *taintFacts) addTaint(obj types.Object, set taintSet) {
+	if obj == nil || len(set) == 0 {
+		return
+	}
+	if t.storage[obj] == nil {
+		t.storage[obj] = taintSet{}
+	}
+	if t.storage[obj].mergeFrom(set) {
+		t.changed = true
+	}
+}
+
+// ---------------------------------------------------------------------
+// Expression taint evaluation.
+
+func (t *taintFacts) exprTaint(f *ModFunc, e ast.Expr) taintSet {
+	pkg := f.Pkg
+	set := taintSet{}
+	// error values are diagnostics by definition: their text may
+	// legitimately depend on iteration order or timing (which of two
+	// equivalent problems is reported first), and treating them as
+	// carriers would taint every (T, error) tuple at every call site.
+	if isErrorType(pkg.typeOf(e)) {
+		return set
+	}
+	switch ex := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.ObjectOf(ex); obj != nil {
+			set.mergeFrom(t.storage[obj])
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[ex]; ok && sel.Kind() == types.FieldVal {
+			// Field reads use the field-based fact alone: unioning the
+			// container's value-taint here would conflate sibling
+			// fields (a wall-clock timestamp next to a config field
+			// would taint both). Whole-value flows into sinks are
+			// covered by typeFieldTaint at the sink instead.
+			set.mergeFrom(t.storage[sel.Obj()])
+			break
+		}
+		if obj, ok := pkg.Info.Uses[ex.Sel].(*types.Var); ok {
+			set.mergeFrom(t.storage[obj])
+		}
+	case *ast.CallExpr:
+		set.mergeFrom(t.callTaint(f, ex))
+	case *ast.UnaryExpr:
+		if ex.Op == token.ARROW {
+			if ch := storageRoot(pkg, ex.X); ch != nil && t.multiSend[ch] {
+				set.mergeFrom(taintSet{"goorder": ex.Pos()})
+			}
+			set.mergeFrom(t.exprTaint(f, ex.X))
+			break
+		}
+		set.mergeFrom(t.exprTaint(f, ex.X))
+	case *ast.BinaryExpr:
+		set.mergeFrom(t.exprTaint(f, ex.X))
+		set.mergeFrom(t.exprTaint(f, ex.Y))
+	case *ast.IndexExpr:
+		set.mergeFrom(t.exprTaint(f, ex.X))
+		set.mergeFrom(t.exprTaint(f, ex.Index))
+	case *ast.SliceExpr:
+		set.mergeFrom(t.exprTaint(f, ex.X))
+	case *ast.StarExpr:
+		set.mergeFrom(t.exprTaint(f, ex.X))
+	case *ast.TypeAssertExpr:
+		set.mergeFrom(t.exprTaint(f, ex.X))
+	case *ast.CompositeLit:
+		set.mergeFrom(t.compositeLitTaint(f, ex))
+	case *ast.KeyValueExpr:
+		set.mergeFrom(t.exprTaint(f, ex.Value))
+	}
+	return set
+}
+
+// compositeLitTaint is the value taint of a composite literal: the
+// union of its element taints, excluding elements assigned to
+// //replint:metadata fields — the literal carries sanctioned metadata
+// there exactly as a field store would, so `Status{SubmittedAt:
+// time.Now()}` does not taint the whole Status value.
+func (t *taintFacts) compositeLitTaint(f *ModFunc, lit *ast.CompositeLit) taintSet {
+	set := taintSet{}
+	var st *types.Struct
+	if tt := f.Pkg.typeOf(lit); tt != nil {
+		u := tt.Underlying()
+		if p, ok := u.(*types.Pointer); ok {
+			u = p.Elem().Underlying()
+		}
+		st, _ = u.(*types.Struct)
+	}
+	for i, elt := range lit.Elts {
+		var field types.Object
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && st != nil {
+				field = fieldByName(st, id.Name)
+			}
+			val = kv.Value
+		} else if st != nil && i < st.NumFields() {
+			field = st.Field(i)
+		}
+		if field != nil && t.mod.meta[field] {
+			continue
+		}
+		set.mergeFrom(t.exprTaint(f, val))
+	}
+	return set
+}
+
+func (t *taintFacts) callTaint(f *ModFunc, call *ast.CallExpr) taintSet {
+	pkg := f.Pkg
+	set := taintSet{}
+	// Type conversion: value passes through.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, arg := range call.Args {
+			set.mergeFrom(t.exprTaint(f, arg))
+		}
+		return set
+	}
+	callee := calleeFunc(pkg, call)
+	if kind := sourceKindOfCall(pkg, callee, call); kind != "" {
+		set.mergeFrom(taintSet{kind: call.Pos()})
+	}
+	if callee != nil {
+		if t.mod.byObj[callee] != nil {
+			set.mergeFrom(t.ret[callee])
+			return set
+		}
+	}
+	// Builtin append / external call: union over operands (a helper we
+	// cannot see is assumed to pass taint through, not launder it).
+	for _, arg := range call.Args {
+		set.mergeFrom(t.exprTaint(f, arg))
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		set.mergeFrom(t.exprTaint(f, sel.X))
+	}
+	return set
+}
+
+// typeFieldTaint unions the taint of every field reachable from a
+// struct type (through pointers, slices, embedded structs), depth
+// bounded. It makes struct *values* carry their fields' taint across
+// call boundaries and into sinks. //replint:metadata fields are
+// excluded by construction (stores into them were absorbed).
+func (t *taintFacts) typeFieldTaint(tt types.Type, seen map[*types.Named]bool) taintSet {
+	set := taintSet{}
+	if tt == nil {
+		return set
+	}
+	if seen == nil {
+		seen = map[*types.Named]bool{}
+	}
+	if len(seen) > 8 {
+		return set
+	}
+	switch u := tt.(type) {
+	case *types.Named:
+		if seen[u] {
+			return set
+		}
+		seen[u] = true
+		return t.typeFieldTaint(u.Underlying(), seen)
+	case *types.Pointer:
+		return t.typeFieldTaint(u.Elem(), seen)
+	case *types.Slice:
+		return t.typeFieldTaint(u.Elem(), seen)
+	case *types.Array:
+		return t.typeFieldTaint(u.Elem(), seen)
+	case *types.Map:
+		return t.typeFieldTaint(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			fd := u.Field(i)
+			if t.mod.meta[fd] {
+				continue
+			}
+			set.mergeFrom(t.storage[fd])
+			set.mergeFrom(t.typeFieldTaint(fd.Type(), seen))
+		}
+	}
+	return set
+}
+
+// ---------------------------------------------------------------------
+// Sources.
+
+var ptrVerbRE = regexp.MustCompile(`%[-+# 0-9.*]*p`)
+
+// sourceKindOfCall classifies a call as a nondeterminism source.
+func sourceKindOfCall(pkg *Package, callee *types.Func, call *ast.CallExpr) string {
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch callee.Pkg().Path() {
+	case "time":
+		if !isMethod {
+			switch callee.Name() {
+			case "Now", "Since", "Until":
+				return "wallclock"
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level draw functions use the shared global source.
+		// Constructors (New, NewSource, NewPCG, ...) and methods on a
+		// seeded *rand.Rand are the deterministic idiom and are clean.
+		if !isMethod && !strings.HasPrefix(callee.Name(), "New") {
+			return "mathrand"
+		}
+	case "fmt":
+		if !isMethod && strings.Contains(callee.Name(), "rintf") {
+			// Sprintf/Fprintf/Printf family: %p formats an address.
+			for _, arg := range call.Args {
+				if tv, ok := pkg.Info.Types[arg]; ok && tv.Value != nil {
+					if ptrVerbRE.MatchString(tv.Value.ExactString()) {
+						return "ptrfmt"
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------
+// The //replint:metadata directive.
+
+var metadataRE = regexp.MustCompile(`^//replint:metadata\s+--\s+\S.*$`)
+
+const metadataPrefix = "//replint:metadata"
+
+// collectMetadataFields resolves every //replint:metadata directive
+// to the struct-field objects it designates. The directive is valid
+// on a field (doc or trailing comment — covers that field) and on a
+// type declaration (covers every field of the struct).
+func collectMetadataFields(m *Module) map[types.Object]bool {
+	meta := map[types.Object]bool{}
+	markField := func(pkg *Package, field *ast.Field) {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				meta[obj] = true
+			}
+		}
+	}
+	hasDirective := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				if metadataRE.MatchString(c.Text) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					typeWide := hasDirective(gd.Doc, ts.Doc, ts.Comment)
+					for _, field := range st.Fields.List {
+						if typeWide || hasDirective(field.Doc, field.Comment) {
+							markField(pkg, field)
+						}
+					}
+				}
+			}
+			// Anonymous struct types (e.g. one-off debug payloads):
+			// field-level directives still apply.
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if hasDirective(field.Doc, field.Comment) {
+						markField(pkg, field)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return meta
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestDebugTaintDump is a development aid: REPLINT_DEBUG_TAINT=Mode go
+// test -run DebugTaint dumps every tainted storage object with that
+// name and the source positions. Skipped otherwise.
+func TestDebugTaintDump(t *testing.T) {
+	name := os.Getenv("REPLINT_DEBUG_TAINT")
+	if name == "" {
+		t.Skip("set REPLINT_DEBUG_TAINT=<object name>")
+	}
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := BuildModule(loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj, set := range mod.taint.storage {
+		if obj.Name() != name || len(set) == 0 {
+			continue
+		}
+		fmt.Printf("%s (%v declared at %s):\n", obj.Name(), obj.Type(), loader.Fset.Position(obj.Pos()))
+		for kind, pos := range set {
+			fmt.Printf("  %s from %s\n", kind, loader.Fset.Position(pos))
+		}
+	}
+	for fn, slots := range mod.taint.writeParam {
+		if fn.Name() == name {
+			fmt.Printf("writeParam[%s] = %v\n", fn.FullName(), slots)
+		}
+	}
+	for fn, slots := range mod.taint.sinkParam {
+		if fn.Name() == name {
+			fmt.Printf("sinkParam[%s] = %v\n", fn.FullName(), slots)
+		}
+	}
+}

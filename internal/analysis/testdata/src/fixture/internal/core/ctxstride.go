@@ -1,0 +1,105 @@
+// Fixture for the ctxstride rule: header-unbounded loops in
+// context-carrying code must poll cancellation, directly or through a
+// callee the module-wide polls summary knows about. Counted and range
+// loops are exempt, and code with no context in reach is never
+// blamed.
+package core
+
+import "context"
+
+// drain loops unboundedly while holding a context and never polls:
+// the canonical miss.
+func drain(ctx context.Context, ch chan int) int {
+	total := 0
+	for { // want ctxstride
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// pump polls the context directly every iteration: clean.
+func pump(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// step advances one unit and never observes cancellation.
+func step(x int) int { return x + 1 }
+
+// pollStep checks the context at stride boundaries; callers inherit
+// its polling through the summary.
+func pollStep(ctx context.Context, x int) (int, bool) {
+	if x%512 == 0 && ctx.Err() != nil {
+		return x, false
+	}
+	return x + 1, true
+}
+
+// runBlind drives a condition-only loop through a callee that never
+// polls: the loop body looks busy, but nothing in the transitive call
+// tree can stop it — the interprocedural fire.
+func runBlind(ctx context.Context, n int) int {
+	x := 0
+	for x < n { // want ctxstride
+		x = step(x)
+	}
+	return x
+}
+
+// runStrided drives the same loop shape through pollStep: the polls
+// summary clears it without any lexical ctx use in the body.
+func runStrided(ctx context.Context, n int) int {
+	x := 0
+	ok := true
+	for ok && x < n {
+		x, ok = pollStep(ctx, x)
+	}
+	return x
+}
+
+// runCounted is exempt by shape: the header bounds the trip count.
+func runCounted(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// ticker holds its context in a struct field: methods are in scope
+// even without a context parameter.
+type ticker struct {
+	ctx context.Context
+	n   int
+}
+
+func (t *ticker) spin() {
+	for t.n > 0 { // want ctxstride
+		t.n--
+	}
+}
+
+// drainFast documents why its unbounded loop is acceptable.
+func drainFast(ctx context.Context, ch chan int) int {
+	total := 0
+	//replint:ignore ctxstride -- fixture: the producer closes ch promptly after cancel; the loop is bounded by channel close
+	for { // wantsuppressed ctxstride
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}

@@ -1,0 +1,52 @@
+// Fixture for the hotalloc rule: allocations inside loops of
+// functions reachable from this package's SolveContext are hot-path
+// findings; allocations in unreachable functions, pre-sized appends,
+// and scratch-backed appends stay quiet. The rule is interprocedural:
+// expand below is hot only because the call graph reaches it from
+// SolveContext.
+package embed
+
+// solverScratch mimics the real pooled arena; appends into its
+// storage amortize to zero and are exempt by type name.
+type solverScratch struct {
+	items []int
+}
+
+// SolveContext is the DP root: every function reachable from it in
+// this package is on the hot path.
+func SolveContext(n int, sc *solverScratch) []int {
+	out := make([]int, 0, n) // pre-sized outside the loop: the fix idiom
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8) // want hotalloc
+		buf[0] = i
+		out = append(out, expand(i)...) // append into the pre-sized buffer: exempt
+		items := sc.items[:0]
+		items = append(items, buf...) // scratch-backed destination: exempt
+		sc.items = items
+		//replint:ignore hotalloc -- fixture: one-time warmup amortized across the whole solve
+		warm := make([]int, 4) // wantsuppressed hotalloc
+		_ = warm
+	}
+	return out
+}
+
+// expand allocates per iteration two calls below the root: the
+// interprocedural fire — nothing in this function's own signature
+// says "hot".
+func expand(i int) []int {
+	var acc []int
+	for j := 0; j < i; j++ {
+		acc = append(acc, j) // want hotalloc
+	}
+	return acc
+}
+
+// coldGrow is not reachable from SolveContext: the same shape stays
+// unflagged off the hot path.
+func coldGrow(n int) []int {
+	var acc []int
+	for i := 0; i < n; i++ {
+		acc = append(acc, i)
+	}
+	return acc
+}

@@ -1,0 +1,106 @@
+// Fixture for the shardwrite rule, sharedwrite's interprocedural
+// sibling for multi-instance workers. The headline case is the one a
+// lexical rule cannot see: the worker passes a captured reference to
+// a callee that writes through it (the writeParam summary carries the
+// write back to the launch site). The atomic-claim case shows the
+// precision win the other way — the dataflow rule recognizes the
+// claimed index as a shard key, while the lexical rule needs an
+// escape hatch.
+package flow
+
+import "sync/atomic"
+
+// bump adds into the slot its pointer argument addresses: callers
+// that hand it shared storage write through it.
+func bump(dst *float64, x float64) {
+	*dst += x
+}
+
+// fanSum hands the same captured accumulator to every worker through
+// bump: the write happens in the callee, invisible lexically — the
+// interprocedural fire. sharedwrite stays quiet here.
+func fanSum(xs []float64) float64 {
+	total := 0.0
+	runLevels(len(xs), func(i int) {
+		bump(&total, xs[i]) // want shardwrite
+	})
+	return total
+}
+
+// fanSlots gives each worker its own slot through the same callee:
+// the argument is indexed by the worker parameter, clean.
+func fanSlots(xs []float64) float64 {
+	slots := make([]float64, len(xs))
+	runLevels(len(xs), func(i int) {
+		bump(&slots[i], xs[i]*xs[i])
+	})
+	total := 0.0
+	for _, s := range slots {
+		total += s
+	}
+	return total
+}
+
+// dualWrite writes the captured maximum directly from loop-launched
+// workers: the lexical rule and the interprocedural one both see it.
+func dualWrite(xs []float64) float64 {
+	done := make(chan struct{})
+	peak := 0.0
+	for _, x := range xs {
+		go func(x float64) {
+			if x > peak {
+				peak = x // want shardwrite,sharedwrite
+			}
+			done <- struct{}{}
+		}(x)
+	}
+	for range xs {
+		<-done
+	}
+	return peak
+}
+
+// claimSlots is the atomic-claim idiom: each worker takes unique slot
+// indices from a shared counter, so writes are disjoint. shardwrite
+// recognizes the claim as a shard key; the lexical sharedwrite rule
+// cannot and needs the documented escape hatch.
+func claimSlots(n int) []int {
+	var next atomic.Int64
+	out := make([]int, n)
+	done := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		go func() {
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= n {
+					break
+				}
+				//replint:ignore sharedwrite -- fixture: ci is an atomically claimed unique index; shardwrite proves the same disjointness without this directive
+				out[ci] = ci * ci // wantsuppressed sharedwrite
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 3; w++ {
+		<-done
+	}
+	return out
+}
+
+// lastWins documents an accepted last-writer-wins race on an advisory
+// gauge; both rules honor the shared directive.
+func lastWins(xs []float64) float64 {
+	seen := 0.0
+	done := make(chan struct{})
+	for _, x := range xs {
+		go func(x float64) {
+			//replint:ignore shardwrite,sharedwrite -- fixture: last-writer-wins is acceptable for this advisory gauge
+			seen = x // wantsuppressed shardwrite,sharedwrite
+			done <- struct{}{}
+		}(x)
+	}
+	for range xs {
+		<-done
+	}
+	return seen
+}

@@ -1,0 +1,61 @@
+// Fixture for the detflow rule, serve side: JSON output is a
+// determinism sink in serve packages, and emit's parameter becomes a
+// transitive sink through the sinkParam summary — tainted call sites
+// report at the caller even though the encoder is one call away.
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Report is the wire record. Seconds deliberately carries latency
+// telemetry; the directive absorbs stores into it.
+type Report struct {
+	Name string
+	//replint:metadata -- fixture: latency telemetry, never replayed or diffed
+	Seconds float64
+}
+
+// emit forwards v to the JSON encoder: its second parameter becomes a
+// transitive sink (sinkParam), so tainted arguments report at the
+// call site, not here.
+func emit(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+// publishClock sends a wallclock string through emit: the sink is one
+// call away — the interprocedural fire.
+func publishClock(w io.Writer) {
+	stamp := time.Now().String()
+	_ = emit(w, stamp) // want detflow
+}
+
+// publishOrder marshals names collected in map-iteration order: the
+// order nondeterminism rides the slice into the direct JSON sink.
+func publishOrder(w io.Writer, set map[string]int) error {
+	var names []string
+	for k := range set {
+		names = append(names, k)
+	}
+	data, err := json.Marshal(names) // want detflow
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// publishReport carries the clock only inside the annotated metadata
+// field: absorbed, clean.
+func publishReport(w io.Writer, name string, took time.Duration) {
+	_ = emit(w, Report{Name: name, Seconds: took.Seconds()})
+}
+
+// publishDebug knowingly emits a nondeterministic debug dump and
+// documents why that is acceptable.
+func publishDebug(w io.Writer) {
+	//replint:ignore detflow -- fixture: debug endpoint is documented as non-reproducible
+	_ = emit(w, time.Now().UnixNano()) // wantsuppressed detflow
+}

@@ -130,6 +130,8 @@ type IterStat struct {
 // solution selection (embed), netlist+placement mutation and
 // unification (apply), and timing-driven legalization (legalize).
 // Serving layers surface these as per-job breakdowns.
+//
+//replint:metadata -- wall-clock telemetry by design; no solver decision reads it
 type PhaseTimes struct {
 	Analyze  float64 `json:"analyze"`
 	Extract  float64 `json:"extract"`

@@ -159,6 +159,7 @@ func (p *Problem) SolveContext(ctx context.Context) (*Result, error) {
 	}
 	r := &Result{p: p, ctx: ctx, sols: make([]nodeSols, len(p.T.Nodes))}
 	for i := range r.sols {
+		//replint:ignore hotalloc -- one-time per-node table setup before the DP starts, not per-pop work
 		r.sols[i].at = make([][]solution, p.G.NumVertices())
 	}
 	workers := p.workers()
@@ -243,9 +244,11 @@ func (r *Result) runLevels(workers int) {
 		for _, id := range nodes {
 			wg.Add(1)
 			sem <- struct{}{}
+			//replint:ignore hotalloc -- one launch per tree node, amortized over that node's whole wavefront
 			go func(id NodeID) {
 				defer wg.Done()
 				sc := getScratch()
+				//replint:ignore shardwrite -- processNode writes only r.sols[id], this worker's own per-node slot
 				r.processNode(id, 1, sc)
 				putScratch(sc)
 				<-sem
@@ -288,7 +291,11 @@ func (r *Result) finish(workers int) (*Result, error) {
 	}
 
 	// Collect the global non-dominated frontier.
-	var all []FrontierSol
+	total := 0
+	for v := range ns.at {
+		total += len(ns.at[v])
+	}
+	all := make([]FrontierSol, 0, total)
 	for v := range ns.at {
 		for i := range ns.at[v] {
 			all = append(all, FrontierSol{Sig: ns.at[v][i].sig, Vertex: Vertex(v), idx: int32(i)})
@@ -443,6 +450,7 @@ func (r *Result) joinParallel(id NodeID, pool *[]int32, seeds []queueItem, worke
 	}
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
+		//replint:ignore hotalloc -- one launch per join worker, amortized over the worker's chunk stream
 		go func() {
 			defer wg.Done()
 			sc := getScratch()
@@ -596,7 +604,7 @@ func pruneCombos2D(in []combo, sc *solverScratch) []combo {
 			}
 			stair := sc.stairs[c]
 			// pos: first step with d0 > x.d0.
-			pos := sort.Search(len(stair), func(j int) bool { return stair[j].d0 > d0 })
+			pos := sort.Search(len(stair), func(j int) bool { return stair[j].d0 > d0 }) //replint:ignore hotalloc -- sort.Search predicate does not escape; the compiler stack-allocates it
 			if pos > 0 && stair[pos-1].peak <= peak {
 				dominated = true
 				break
@@ -625,7 +633,7 @@ func pruneCombos2D(in []combo, sc *solverScratch) []combo {
 			sc.stairs[cls] = sc.stairs[cls][:0]
 		}
 		stair := sc.stairs[cls]
-		pos := sort.Search(len(stair), func(j int) bool { return stair[j].d0 > d0 })
+		pos := sort.Search(len(stair), func(j int) bool { return stair[j].d0 > d0 }) //replint:ignore hotalloc -- sort.Search predicate does not escape; the compiler stack-allocates it
 		j := pos
 		for j < len(stair) && stair[j].peak >= peak {
 			j++
@@ -805,6 +813,7 @@ func (r *Result) extract(v Vertex, idx int32, node NodeID, emb *Embedding) {
 	// the route (in consumption-to-branch order, reversed at the end).
 	route := []Vertex{v}
 	sol := ns.at[v][idx]
+	//replint:ignore ctxstride -- reconstruction after the DP completes; bounded by the augment-chain length
 	for sol.kind == kindAugment {
 		pv, pi := sol.prevVertex, sol.prevIdx
 		route = append(route, pv)

@@ -323,7 +323,6 @@ func RunAlgorithm(b *Baseline, algo Algorithm, cfg Config) (*Result, error) {
 				return nil, err
 			}
 			ecfg.WireCongestion = rr.TileUsage
-			//replint:ignore floatcmp -- zero means unset; the weight is a configuration constant, never a computed value
 			if ecfg.WireCongestionWeight == 0 {
 				ecfg.WireCongestionWeight = core.Default().WireCongestionWeight
 			}

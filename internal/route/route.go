@@ -110,15 +110,12 @@ func Route(nl *netlist.Netlist, pl timing.Locator, f *arch.FPGA, dm arch.DelayMo
 	if opt.MaxIters <= 0 {
 		opt.MaxIters = Defaults().MaxIters
 	}
-	//replint:ignore floatcmp -- zero means option unset; defaults are exact constants
 	if opt.PresFacInit == 0 {
 		opt.PresFacInit = Defaults().PresFacInit
 	}
-	//replint:ignore floatcmp -- zero means option unset; defaults are exact constants
 	if opt.PresFacMult == 0 {
 		opt.PresFacMult = Defaults().PresFacMult
 	}
-	//replint:ignore floatcmp -- zero means option unset; defaults are exact constants
 	if opt.HistFac == 0 {
 		opt.HistFac = Defaults().HistFac
 	}

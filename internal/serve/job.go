@@ -136,11 +136,15 @@ type Result struct {
 	FFRelocations   int     `json:"ff_relocations"`
 	StoppedEarly    bool    `json:"stopped_early,omitempty"`
 	// Phases is the engine's per-phase wall-clock breakdown.
+	//replint:metadata -- timing telemetry; the solver's outputs never read it back
 	Phases core.PhaseTimes `json:"phases"`
 	// Coarse per-stage seconds for the whole flow.
-	PlaceSeconds  float64 `json:"place_seconds"`
+	//replint:metadata -- timing telemetry; the solver's outputs never read it back
+	PlaceSeconds float64 `json:"place_seconds"`
+	//replint:metadata -- timing telemetry; the solver's outputs never read it back
 	EngineSeconds float64 `json:"engine_seconds"`
-	RouteSeconds  float64 `json:"route_seconds,omitempty"`
+	//replint:metadata -- timing telemetry; the solver's outputs never read it back
+	RouteSeconds float64 `json:"route_seconds,omitempty"`
 	// Routing results (Route jobs only).
 	RoutedCritPath float64 `json:"routed_crit_path,omitempty"`
 	ChannelWidth   int     `json:"channel_width,omitempty"`
@@ -157,12 +161,17 @@ type Status struct {
 	// Position is the number of jobs ahead in the queue (queued only).
 	Position int `json:"position,omitempty"`
 
-	SubmittedAt time.Time  `json:"submitted_at"`
-	StartedAt   *time.Time `json:"started_at,omitempty"`
-	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	//replint:metadata -- queue timestamps are job metadata, not solver output
+	SubmittedAt time.Time `json:"submitted_at"`
+	//replint:metadata -- queue timestamps are job metadata, not solver output
+	StartedAt *time.Time `json:"started_at,omitempty"`
+	//replint:metadata -- queue timestamps are job metadata, not solver output
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
 	// QueueSeconds and RunSeconds split the job's latency.
+	//replint:metadata -- latency telemetry, not solver output
 	QueueSeconds float64 `json:"queue_seconds"`
-	RunSeconds   float64 `json:"run_seconds,omitempty"`
+	//replint:metadata -- latency telemetry, not solver output
+	RunSeconds float64 `json:"run_seconds,omitempty"`
 
 	Result *Result `json:"result,omitempty"`
 }

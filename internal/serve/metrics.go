@@ -50,8 +50,10 @@ type CounterSnapshot struct {
 	QueueCapacity     int   `json:"queue_capacity"`
 	// Cumulative engine wall seconds and embed-phase seconds across
 	// completed jobs: the live view of where the service spends time.
+	//replint:metadata -- load telemetry; never fed back into a solve
 	EngineSeconds float64 `json:"engine_seconds"`
-	EmbedSeconds  float64 `json:"embed_seconds"`
+	//replint:metadata -- load telemetry; never fed back into a solve
+	EmbedSeconds float64 `json:"embed_seconds"`
 }
 
 // Counters snapshots the manager's counters.

@@ -59,7 +59,6 @@ func ExecuteJob(ctx context.Context, spec JobSpec) (*Result, error) {
 		popt.Seed = 1
 	}
 	popt.Effort = spec.Effort
-	//replint:ignore floatcmp -- zero means unset: the field comes straight from JSON, never from arithmetic
 	if popt.Effort == 0 {
 		popt.Effort = defaultEffort
 	}
@@ -166,7 +165,6 @@ func resolveNetlist(spec JobSpec) (*netlist.Netlist, error) {
 		return nil, fmt.Errorf("unknown circuit %q", spec.Circuit)
 	}
 	scale := spec.Scale
-	//replint:ignore floatcmp -- zero means unset: the field comes straight from JSON, never from arithmetic
 	if scale == 0 {
 		scale = defaultScale
 	}

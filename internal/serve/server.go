@@ -125,6 +125,7 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	runtime.ReadMemStats(&ms)
 	doc := struct {
 		CounterSnapshot
+		//replint:metadata -- process uptime is introspection, not solver output
 		UptimeSeconds  float64 `json:"uptime_seconds"`
 		Goroutines     int     `json:"goroutines"`
 		HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
