@@ -5,6 +5,15 @@ GO ?= go
 BENCH ?= ^(BenchmarkEmbed|BenchmarkSTA)
 BENCHTIME ?= 1s
 
+# `make bench-json` records the PR perf trajectory: the steady-state
+# engine-iteration benchmark (full vs incremental), serialized by
+# cmd/benchjson into BENCH_JSON. Set BASELINE to a previous file to
+# attach vs_baseline speedups.
+ENGINE_BENCH ?= ^BenchmarkEngineIterate$$
+ENGINE_BENCHTIME ?= 5x
+BENCH_JSON ?= BENCH_0006.json
+BASELINE ?=
+
 # repld daemon defaults for `make serve` / `make loadtest`.
 ADDR ?= :8080
 WORKERS ?= 2
@@ -12,7 +21,7 @@ QUEUE ?= 64
 JOBS ?= 50
 CONCURRENCY ?= 8
 
-.PHONY: build test race vet lint assert oracle cover serve-race check bench serve loadtest clean
+.PHONY: build test race vet lint assert oracle cover serve-race check bench bench-json serve loadtest clean
 
 # Coverage floor for the differentially-tested packages (per-package,
 # percent of statements). The oracle exists to exercise the embedder;
@@ -84,6 +93,14 @@ bench: build
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem . | tee BENCH_embed.txt
 	$(GO) run ./cmd/benchjson < BENCH_embed.txt > BENCH_embed.json
 
+# Steady-state iteration latency, full vs incremental, committed as the
+# perf-trajectory artifact ($(BENCH_JSON)). The within-file full/* vs
+# incremental/* pair is this PR's before/after; across PRs, pass
+# BASELINE=BENCH_NNNN.json to chain speedups file to file.
+bench-json: build
+	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH)' -benchtime $(ENGINE_BENCHTIME) -benchmem . | tee $(BENCH_JSON:.json=.txt)
+	$(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) < $(BENCH_JSON:.json=.txt) > $(BENCH_JSON)
+
 # Run the replication daemon locally (Ctrl-C / SIGTERM drains).
 serve: build
 	$(GO) run ./cmd/repld -addr $(ADDR) -workers $(WORKERS) -queue $(QUEUE)
@@ -94,4 +111,4 @@ loadtest:
 	$(GO) run ./cmd/replload -addr http://localhost$(ADDR) -n $(JOBS) -concurrency $(CONCURRENCY)
 
 clean:
-	rm -f BENCH_embed.txt BENCH_embed.json cover.out
+	rm -f BENCH_embed.txt BENCH_embed.json BENCH_0006.txt cover.out

@@ -10,12 +10,21 @@
 // *starts* like a benchmark result and then fails to parse is an error,
 // and producing no results at all is an error too. Silently emitting
 // `[]` is how a broken bench pipeline poisons a perf dashboard.
+//
+// With -baseline OLD.json (a previous benchjson output), each result
+// that matches a baseline entry by name carries a "vs_baseline" object
+// with the baseline's standard units and the wall-clock speedup
+// (baseline ns/op over current ns/op, so > 1 means this run is
+// faster). Results without a baseline counterpart — renamed or new
+// benchmarks — are emitted without the field rather than dropped: the
+// perf trajectory must show additions, not silently skip them.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -32,6 +41,19 @@ type result struct {
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Baseline    *baselineDelta     `json:"vs_baseline,omitempty"`
+}
+
+// baselineDelta is the comparison against a -baseline entry of the
+// same name: its standard units verbatim, plus the wall-clock speedup
+// of the current run over it.
+type baselineDelta struct {
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op: > 1 means
+	// this run is faster.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // errNoResults reports input that contained no benchmark lines at all —
@@ -39,16 +61,49 @@ type result struct {
 var errNoResults = errors.New("no benchmark results in input (failed run or -bench matched nothing?)")
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	baseline := flag.String("baseline", "", "previous benchjson output to compare against (attaches vs_baseline per matching result)")
+	flag.Parse()
+	var base []result
+	if *baseline != "" {
+		var err error
+		if base, err = loadBaseline(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := runCompare(os.Stdin, os.Stdout, base); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// loadBaseline reads a previous benchjson output. An unreadable or
+// malformed file is an error — comparing against garbage would record
+// a bogus trajectory — and so is an empty one, mirroring errNoResults.
+func loadBaseline(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	var base []result
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("baseline %s: no results", path)
+	}
+	return base, nil
+}
+
 // run converts bench output on r to a JSON array on w. Lines that start
 // like a benchmark result but fail to parse are errors, as is input
 // that yields no results at all.
-func run(r io.Reader, w io.Writer) error {
+func run(r io.Reader, w io.Writer) error { return runCompare(r, w, nil) }
+
+// runCompare is run with an optional baseline: results matching a
+// baseline entry by name (and procs, when both sides recorded one)
+// carry a vs_baseline delta.
+func runCompare(r io.Reader, w io.Writer, baseline []result) error {
 	var results []result
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -70,6 +125,28 @@ func run(r io.Reader, w io.Writer) error {
 	}
 	if len(results) == 0 {
 		return errNoResults
+	}
+	if baseline != nil {
+		byName := make(map[string]*result, len(baseline))
+		for i := range baseline {
+			byName[baseline[i].Name] = &baseline[i]
+		}
+		for i := range results {
+			cur := &results[i]
+			old, ok := byName[cur.Name]
+			if !ok || (old.Procs != cur.Procs && old.Procs != 0 && cur.Procs != 0) {
+				continue
+			}
+			d := &baselineDelta{
+				NsPerOp:     old.NsPerOp,
+				BytesPerOp:  old.BytesPerOp,
+				AllocsPerOp: old.AllocsPerOp,
+			}
+			if cur.NsPerOp > 0 && old.NsPerOp > 0 {
+				d.Speedup = old.NsPerOp / cur.NsPerOp
+			}
+			cur.Baseline = d
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"os"
 	"strings"
 	"testing"
 )
@@ -77,6 +78,71 @@ func TestRunRejectsMalformedBenchLines(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "line 1") {
 			t.Errorf("%s: error %q does not name the offending line", name, err)
+		}
+	}
+}
+
+func TestRunCompareAttachesBaseline(t *testing.T) {
+	baseline := []result{
+		{Name: "EmbedWave", Procs: 8, NsPerOp: 19753086, BytesPerOp: 200000, AllocsPerOp: 1000},
+		{Name: "Gone", Procs: 8, NsPerOp: 1},
+	}
+	var out strings.Builder
+	if err := runCompare(strings.NewReader(benchOutput), &out, baseline); err != nil {
+		t.Fatal(err)
+	}
+	rs := decode(t, out.String())
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	wave := rs[0]
+	if wave.Baseline == nil {
+		t.Fatal("EmbedWave has no vs_baseline despite a matching baseline entry")
+	}
+	if wave.Baseline.NsPerOp != 19753086 || wave.Baseline.BytesPerOp != 200000 || wave.Baseline.AllocsPerOp != 1000 {
+		t.Errorf("baseline units not carried over: %+v", wave.Baseline)
+	}
+	if got := wave.Baseline.Speedup; got != 19753086.0/9876543.0 {
+		t.Errorf("speedup = %v, want exactly baseline/current", got)
+	}
+	if rs[1].Baseline != nil {
+		t.Errorf("STA matched a baseline entry it should not have: %+v", rs[1].Baseline)
+	}
+}
+
+func TestRunCompareSkipsProcsMismatch(t *testing.T) {
+	baseline := []result{{Name: "EmbedWave", Procs: 4, NsPerOp: 1}}
+	var out strings.Builder
+	if err := runCompare(strings.NewReader(benchOutput), &out, baseline); err != nil {
+		t.Fatal(err)
+	}
+	if rs := decode(t, out.String()); rs[0].Baseline != nil {
+		t.Errorf("EmbedWave-8 compared against a -4 baseline: %+v", rs[0].Baseline)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, data string) string {
+		t.Helper()
+		p := dir + "/" + name
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.json", `[{"name":"X","iterations":1,"ns_per_op":5}]`)
+	base, err := loadBaseline(good)
+	if err != nil || len(base) != 1 || base[0].NsPerOp != 5 {
+		t.Fatalf("loadBaseline(good) = %+v, %v", base, err)
+	}
+	for name, path := range map[string]string{
+		"missing":   dir + "/nope.json",
+		"malformed": write("bad.json", "{not json"),
+		"empty":     write("empty.json", "[]"),
+	} {
+		if _, err := loadBaseline(path); err == nil {
+			t.Errorf("loadBaseline(%s) accepted a bad baseline", name)
 		}
 	}
 }

@@ -88,6 +88,26 @@ type Config struct {
 	// phase and the levelized STA. 1 forces the exact serial path;
 	// results are bit-identical at any setting.
 	Parallelism int
+	// Incremental enables the dirty-region iteration engine: STA
+	// re-propagates only through cones affected since the previous
+	// analysis, slowest-paths trees are patched instead of rebuilt,
+	// and solved embedding frontiers are reused when extraction
+	// reproduces a bitwise-identical problem. Results are
+	// Float64bits-identical to the full path at any setting.
+	Incremental bool
+	// IncrementalMaxDirtyFrac is the dirty-frontier threshold (as a
+	// fraction of live cells) past which an incremental STA update
+	// falls back to the full analyzer; 0 selects the default.
+	IncrementalMaxDirtyFrac float64
+	// VerifyIncremental cross-checks every incremental result — STA
+	// updates, patched SPTs, and frontier-cache hits — against the
+	// from-scratch computation, failing the run on any Float64bits
+	// difference. Debug/CI mode: it costs more than disabling
+	// Incremental entirely.
+	VerifyIncremental bool
+	// FrontierCacheSize bounds the embedding-frontier cache (entries);
+	// 0 selects the default.
+	FrontierCacheSize int
 }
 
 // Default returns the configuration used in the paper's experiments.
@@ -112,6 +132,7 @@ func Default() Config {
 		LexCostSlackAbs:      3.0,
 		WireCongestionWeight: 0.1,
 		Parallelism:          runtime.GOMAXPROCS(0),
+		Incremental:          true,
 	}
 }
 
@@ -159,6 +180,37 @@ type Stats struct {
 	StoppedEarly bool
 	// Phases breaks the run's wall time down by engine phase.
 	Phases PhaseTimes
+	// Incremental reports what the incremental engine reused versus
+	// recomputed (zero when Config.Incremental is off).
+	Incremental IncrementalStats
+}
+
+// IncrementalStats aggregates the incremental engine's counters across
+// one run: the dirty-region STA, the SPT cache, and the
+// embedding-frontier cache. Serving layers surface these per job.
+//
+//replint:metadata -- reuse telemetry by design; no solver decision reads it
+type IncrementalStats struct {
+	// Dirty-region STA: incremental updates applied, full recomputes
+	// (first pass + fallbacks), threshold fallbacks, cumulative dirty
+	// seeds, cells re-propagated by each pass, and the largest
+	// single-update dirty cone.
+	STAUpdates       int `json:"sta_updates"`
+	STAFullRuns      int `json:"sta_full_runs"`
+	STAFallbacks     int `json:"sta_fallbacks"`
+	STASeeds         int `json:"sta_seeds"`
+	STACellsForward  int `json:"sta_cells_forward"`
+	STACellsBackward int `json:"sta_cells_backward"`
+	STAMaxDirty      int `json:"sta_max_dirty"`
+	// SPT cache: trees served unchanged, patched in place, or rebuilt,
+	// and the cumulative cone cells touched by patch sweeps.
+	SPTHits         int `json:"spt_hits"`
+	SPTPatches      int `json:"spt_patches"`
+	SPTRebuilds     int `json:"spt_rebuilds"`
+	SPTPatchedCells int `json:"spt_patched_cells"`
+	// Embedding-frontier cache hits and misses.
+	FrontierHits   int `json:"frontier_hits"`
+	FrontierMisses int `json:"frontier_misses"`
 }
 
 // Engine drives placement-coupled replication on one design.
@@ -169,6 +221,13 @@ type Engine struct {
 	Config    Config
 
 	leg *legal.Legalizer
+
+	// Incremental machinery (nil when Config.Incremental is off):
+	// the dirty-region STA engine, the SPT cache driven by its change
+	// generations, and the embedding-frontier cache.
+	inc  *timing.Incremental
+	sptc *timing.SPTCache
+	emc  *embed.Cache
 
 	// ctx and phases are live only inside RunContext: the run's
 	// cancellation context and the Stats phase accumulator.
@@ -214,6 +273,12 @@ func (e *Engine) RunContext(ctx context.Context) (*Stats, error) {
 	e.ctx = ctx
 	e.phases = &st.Phases
 	defer func() { e.ctx, e.phases = nil, nil }()
+	// A repeated Run on the same engine (re-optimization after the
+	// caller perturbed the design) is a fresh Fig. 11 flow: the ε
+	// schedule restarts from zero exactly as on a new engine. The
+	// incremental caches deliberately survive — their diff/generation
+	// tracking absorbs whatever the caller changed in between.
+	e.eps, e.lastSink, e.dryAtSink = 0, netlist.None, 0
 	a, err := e.analyze()
 	if err != nil {
 		return nil, err
@@ -300,18 +365,70 @@ func (e *Engine) RunContext(ctx context.Context) (*Stats, error) {
 		return nil, err
 	}
 	st.FinalPeriod = final.Period
+	e.harvestIncremental(st)
 	return st, nil
 }
 
 // analyze runs STA over the engine's current state with the
-// configured worker count, under the run's context.
+// configured worker count, under the run's context. With
+// Config.Incremental it routes through the dirty-region analyzer,
+// which diffs the state against the previous call and re-propagates
+// only the affected cones; VerifyIncremental additionally re-derives
+// the analysis from scratch and demands bitwise agreement.
 func (e *Engine) analyze() (*timing.Analysis, error) {
 	ctx := e.ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	defer e.timePhase(func(p *PhaseTimes) *float64 { return &p.Analyze })()
-	return timing.AnalyzeWorkersCtx(ctx, e.Netlist, e.Placement, e.Delay, e.Config.Parallelism)
+	if !e.Config.Incremental {
+		return timing.AnalyzeWorkersCtx(ctx, e.Netlist, e.Placement, e.Delay, e.Config.Parallelism)
+	}
+	e.ensureIncremental()
+	a, err := e.inc.Analyze(ctx, e.Netlist, e.Placement)
+	if err != nil {
+		return nil, err
+	}
+	if e.Config.VerifyIncremental {
+		if err := e.verifyAnalysis(ctx, a); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// ensureIncremental lazily constructs the incremental machinery, so
+// Config.Incremental may be set any time before the first analysis.
+func (e *Engine) ensureIncremental() {
+	if e.inc != nil {
+		return
+	}
+	e.inc = timing.NewIncremental(e.Delay, e.Config.Parallelism)
+	e.inc.MaxDirtyFrac = e.Config.IncrementalMaxDirtyFrac
+	e.sptc = timing.NewSPTCache(e.inc, 0)
+	e.emc = embed.NewCache(e.Config.FrontierCacheSize)
+}
+
+// harvestIncremental copies the incremental engine's counters into the
+// run's stats.
+func (e *Engine) harvestIncremental(st *Stats) {
+	if e.inc == nil {
+		return
+	}
+	is := &st.Incremental
+	is.STAUpdates = e.inc.Stats.Updates
+	is.STAFullRuns = e.inc.Stats.FullRuns
+	is.STAFallbacks = e.inc.Stats.Fallbacks
+	is.STASeeds = e.inc.Stats.Seeds
+	is.STACellsForward = e.inc.Stats.CellsForward
+	is.STACellsBackward = e.inc.Stats.CellsBackward
+	is.STAMaxDirty = e.inc.Stats.MaxDirty
+	is.SPTHits = e.sptc.Stats.Hits
+	is.SPTPatches = e.sptc.Stats.Patches
+	is.SPTRebuilds = e.sptc.Stats.Rebuilds
+	is.SPTPatchedCells = e.sptc.Stats.PatchedCells
+	is.FrontierHits = e.emc.Stats.Hits
+	is.FrontierMisses = e.emc.Stats.Misses
 }
 
 // timePhase starts a wall-clock measurement charged to the phase field
@@ -370,7 +487,18 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 	}
 
 	stopExtract := e.timePhase(func(p *PhaseTimes) *float64 { return &p.Extract })
-	spt := timing.BuildSPT(e.Netlist, e.Placement, e.Delay, a, sink)
+	var spt *timing.SPT
+	if e.Config.Incremental && e.sptc != nil {
+		spt = e.sptc.Get(e.Netlist, e.Placement, e.Delay, a, sink)
+		if e.Config.VerifyIncremental {
+			if err := verifySPT(spt, timing.BuildSPT(e.Netlist, e.Placement, e.Delay, a, sink)); err != nil {
+				stopExtract()
+				return false, err
+			}
+		}
+	} else {
+		spt = timing.BuildSPT(e.Netlist, e.Placement, e.Delay, a, sink)
+	}
 	members := spt.Epsilon(e.eps)
 	e.trimMembers(spt, members)
 	rt, err := rtree.Build(e.Netlist, a, spt, members)
@@ -403,13 +531,38 @@ func (e *Engine) iterate(a *timing.Analysis, st *Stats, improvedLast bool) (stop
 		ctx = context.Background()
 	}
 	stopEmbed := e.timePhase(func(p *PhaseTimes) *float64 { return &p.Embed })
-	res, err := prob.SolveContext(ctx)
-	if err != nil {
-		stopEmbed()
-		if cerr := ctx.Err(); cerr != nil {
-			return false, cerr // cancelled mid-DP, not an infeasible window
+	// Frontier memoization: if the extraction reproduced a problem
+	// whose canonical encoding (window, tree, cost inputs) matches a
+	// solved one bit for bit, the DP would recompute the identical
+	// frontier — reuse it instead. The solver is deterministic, so a
+	// hit is exact, not approximate; VerifyIncremental re-solves and
+	// checks.
+	var res *embed.Result
+	var fp embed.Fingerprint
+	if e.Config.Incremental && e.emc != nil {
+		fp = e.embedFingerprint(g, ep, rootFree, prob.DelayQuantum)
+		if r, ok := e.emc.Get(fp); ok {
+			res = r
+			if e.Config.VerifyIncremental {
+				if err := e.verifyFrontier(ctx, prob, res); err != nil {
+					stopEmbed()
+					return false, err
+				}
+			}
 		}
-		return false, nil // window infeasible; ε will grow
+	}
+	if res == nil {
+		res, err = prob.SolveContext(ctx)
+		if err != nil {
+			stopEmbed()
+			if cerr := ctx.Err(); cerr != nil {
+				return false, cerr // cancelled mid-DP, not an infeasible window
+			}
+			return false, nil // window infeasible; ε will grow
+		}
+		if e.Config.Incremental && e.emc != nil {
+			e.emc.Put(fp, res)
+		}
 	}
 	// Selection bound: the cheapest solution faster than both the
 	// tree's own lower bound and the second-most-critical sink (below
@@ -605,18 +758,18 @@ func (e *Engine) selectRelocation(res *embed.Result, g *embed.Graph, sink netlis
 }
 
 // secondArrival returns the worst sink arrival excluding the given
-// sink.
+// sink. The period reduction already tracks the runner-up, so this is
+// O(1) instead of a full cell scan: excluding the critical sink
+// leaves SecondArr (floored at 0, the old scan's starting value);
+// excluding anything else leaves the period itself.
 func (e *Engine) secondArrival(a *timing.Analysis, exclude netlist.CellID) float64 {
-	second := 0.0
-	e.Netlist.Cells(func(c *netlist.Cell) {
-		if c.ID == exclude || !c.IsSink() {
-			return
-		}
-		if t := a.SinkArr[c.ID]; !math.IsInf(t, -1) && t > second {
-			second = t
-		}
-	})
-	return second
+	if exclude != a.CritSink {
+		return a.Period
+	}
+	if math.IsInf(a.SecondArr, -1) || a.SecondArr < 0 {
+		return 0
+	}
+	return a.SecondArr
 }
 
 // trimMembers caps the ε-SPT at MaxTreeInternal movable cells, keeping

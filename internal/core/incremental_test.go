@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuits"
+	"repro/internal/place"
+)
+
+// randomDesign generates a seeded synthetic circuit and places it with
+// the analytic placer, giving the engine a realistic starting point.
+func randomDesign(t *testing.T, seed int64, luts, gridN int) *design {
+	t.Helper()
+	nl, err := circuits.Generate(circuits.Spec{
+		Name: "incprop", LUTs: luts, Inputs: 4, Outputs: 3,
+		RegisteredFrac: 0.2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := place.Defaults()
+	po.Effort = 1
+	po.Seed = seed
+	pl, err := place.Place(nl, arch.New(gridN), po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &design{nl: nl, pl: pl}
+}
+
+// runWith optimizes a fresh copy of the seeded design under cfg and
+// returns the canonical result plus the run's stats.
+func runWith(t *testing.T, seed int64, cfg Config) (string, float64, *Stats) {
+	t.Helper()
+	d := randomDesign(t, seed, 18, 8)
+	e := New(d.nl, d.pl, dm(), cfg)
+	st, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapshot(e.Netlist, e.Placement), st.FinalPeriod, st
+}
+
+// TestIncrementalEngineMatchesFull pins the engine-level exactness
+// contract: with the incremental machinery on (and self-verifying),
+// the optimized design must be bit-identical to the full engine's.
+func TestIncrementalEngineMatchesFull(t *testing.T) {
+	for seed := int64(31); seed <= 33; seed++ {
+		full := Default()
+		full.Incremental = false
+		fullSnap, fullPeriod, _ := runWith(t, seed, full)
+
+		inc := Default()
+		inc.Incremental = true
+		inc.VerifyIncremental = true
+		incSnap, incPeriod, st := runWith(t, seed, inc)
+
+		if math.Float64bits(fullPeriod) != math.Float64bits(incPeriod) {
+			t.Fatalf("seed %d: incremental period %v, full %v", seed, incPeriod, fullPeriod)
+		}
+		if fullSnap != incSnap {
+			t.Fatalf("seed %d: designs diverge:\n--- full\n%s--- incremental\n%s", seed, fullSnap, incSnap)
+		}
+		if st.Incremental.STAUpdates+st.Incremental.STAFullRuns == 0 {
+			t.Fatalf("seed %d: incremental run recorded no STA activity: %+v", seed, st.Incremental)
+		}
+	}
+}
+
+// TestDirtyOverflowMidRun is the overflow property test: with the
+// dirty-frontier budget shrunk to near zero, every post-change STA
+// update overflows mid-propagation and must fall back to the full
+// analyzer — still bit-identical to the plain full engine, with
+// VerifyIncremental re-checking every fallback result and the SPT /
+// frontier caches absorbing the resets cleanly. Random seeds vary the
+// circuit so the fallback path is exercised across different shapes.
+func TestDirtyOverflowMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	runs := 4
+	if testing.Short() {
+		runs = 2
+	}
+	for i := 0; i < runs; i++ {
+		seed := rng.Int63n(1 << 30)
+		full := Default()
+		full.Incremental = false
+		fullSnap, fullPeriod, _ := runWith(t, seed, full)
+
+		inc := Default()
+		inc.Incremental = true
+		inc.VerifyIncremental = true
+		inc.IncrementalMaxDirtyFrac = 1e-12 // zero-cell budget: always overflow
+		incSnap, incPeriod, st := runWith(t, seed, inc)
+
+		if math.Float64bits(fullPeriod) != math.Float64bits(incPeriod) {
+			t.Fatalf("seed %d: overflow run period %v, full %v", seed, incPeriod, fullPeriod)
+		}
+		if fullSnap != incSnap {
+			t.Fatalf("seed %d: overflow run design diverges:\n--- full\n%s--- overflow\n%s", seed, fullSnap, incSnap)
+		}
+		is := st.Incremental
+		// No-op diffs (nothing changed between analyses) legitimately
+		// stay incremental with zero seeds; any actual change must
+		// overflow the zero budget, so no cells are ever re-propagated.
+		if is.STACellsForward+is.STACellsBackward != 0 || is.STASeeds != 0 {
+			t.Fatalf("seed %d: zero budget still re-propagated cells: %+v", seed, is)
+		}
+		if is.STAFullRuns == 0 {
+			t.Fatalf("seed %d: no full STA runs recorded: %+v", seed, is)
+		}
+		// Engine state mutates between analyses, so post-change analyses
+		// must have overflowed (unless the run never changed anything).
+		if st.Replicated+st.FFRelocations > 0 && is.STAFallbacks == 0 {
+			t.Fatalf("seed %d: run mutated the design but never overflowed: %+v", seed, is)
+		}
+	}
+}
+
+// TestIncrementalTelemetryFlows checks the run stats surface cache
+// activity: a multi-iteration run must record SPT cache traffic
+// consistent with its rebuild/patch/hit split.
+func TestIncrementalTelemetryFlows(t *testing.T) {
+	cfg := Default()
+	cfg.VerifyIncremental = true
+	_, _, st := runWith(t, 51, cfg)
+	is := st.Incremental
+	if is.SPTRebuilds == 0 {
+		t.Fatalf("no SPT rebuilds recorded: %+v", is)
+	}
+	if is.FrontierHits+is.FrontierMisses == 0 {
+		t.Fatalf("no frontier cache traffic recorded: %+v", is)
+	}
+	if is.STAFullRuns == 0 {
+		t.Fatalf("first analysis must be a full run: %+v", is)
+	}
+}

@@ -110,6 +110,53 @@ func CheckEngine(opt EngineCheckOptions) (*EngineReport, error) {
 	}, nil
 }
 
+// CheckIncremental is the incremental engine's differential oracle:
+// the same placed design optimized with the incremental machinery
+// disabled and enabled must produce bit-identical periods and designs.
+// The incremental run additionally enables Config.VerifyIncremental,
+// so every dirty-region STA update, patched critical-path tree, and
+// memoized embedding frontier inside the run is re-derived from
+// scratch and checked bitwise as it happens.
+func CheckIncremental(opt EngineCheckOptions) (*core.Stats, error) {
+	nl, err := circuits.Generate(opt.Spec)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := place.Place(nl, arch.New(opt.GridN), opt.PlaceOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := opt.ParallelWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	full := opt.Config
+	full.Incremental = false
+	fres, err := runOnce(nl.Clone(), pl.Clone(), opt.Delay, full, workers)
+	if err != nil {
+		return nil, fmt.Errorf("full run %s: %w", opt.Spec.Name, err)
+	}
+
+	inc := opt.Config
+	inc.Incremental = true
+	inc.VerifyIncremental = true
+	ires, err := runOnce(nl, pl, opt.Delay, inc, workers)
+	if err != nil {
+		return nil, fmt.Errorf("incremental run %s: %w", opt.Spec.Name, err)
+	}
+
+	if math.Float64bits(fres.period) != math.Float64bits(ires.period) {
+		return nil, fmt.Errorf("%s: incremental period %v != full period %v",
+			opt.Spec.Name, ires.period, fres.period)
+	}
+	if fres.snap != ires.snap {
+		return nil, fmt.Errorf("%s: incremental design diverges from full:\n--- full\n%s--- incremental\n%s",
+			opt.Spec.Name, fres.snap, ires.snap)
+	}
+	return ires.stats, nil
+}
+
 type runResult struct {
 	nl     *netlist.Netlist
 	pl     *placement.Placement

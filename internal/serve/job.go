@@ -138,6 +138,11 @@ type Result struct {
 	// Phases is the engine's per-phase wall-clock breakdown.
 	//replint:metadata -- timing telemetry; the solver's outputs never read it back
 	Phases core.PhaseTimes `json:"phases"`
+	// Incremental is the engine's incremental-machinery telemetry:
+	// dirty-cone sizes, STA cells re-propagated, and cache hit/miss
+	// splits for the critical-path and frontier caches.
+	//replint:metadata -- reuse telemetry; the solver's outputs never read it back
+	Incremental core.IncrementalStats `json:"incremental"`
 	// Coarse per-stage seconds for the whole flow.
 	//replint:metadata -- timing telemetry; the solver's outputs never read it back
 	PlaceSeconds float64 `json:"place_seconds"`

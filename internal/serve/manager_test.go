@@ -86,6 +86,44 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 }
 
+// TestIncrementalCountersAccumulate checks completed jobs' engine
+// reuse telemetry rolls up into the /debug/vars counters.
+func TestIncrementalCountersAccumulate(t *testing.T) {
+	m := NewManager(Config{
+		Workers: 1,
+		Runner: func(context.Context, JobSpec) (*Result, error) {
+			r := &Result{Circuit: "stub"}
+			r.Incremental.STAUpdates = 7
+			r.Incremental.STAFullRuns = 2
+			r.Incremental.STACellsForward = 30
+			r.Incremental.STACellsBackward = 12
+			r.Incremental.SPTPatches = 4
+			r.Incremental.SPTRebuilds = 1
+			r.Incremental.FrontierHits = 5
+			r.Incremental.FrontierMisses = 3
+			return r, nil
+		},
+	})
+	defer m.Shutdown(context.Background())
+	for i := 0; i < 2; i++ {
+		st, err := m.Submit(stubSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, st.ID, StateDone)
+	}
+	c := m.Counters()
+	if c.STAUpdates != 14 || c.STAFullRuns != 4 || c.STACellsRepropagated != 84 {
+		t.Fatalf("STA counters = %+v, want 14/4/84", c)
+	}
+	if c.SPTPatches != 8 || c.SPTRebuilds != 2 {
+		t.Fatalf("SPT counters = %+v, want 8/2", c)
+	}
+	if c.FrontierHits != 10 || c.FrontierMisses != 6 {
+		t.Fatalf("frontier counters = %+v, want 10/6", c)
+	}
+}
+
 func TestPanicRecovery(t *testing.T) {
 	m := NewManager(Config{
 		Workers: 1,

@@ -33,6 +33,15 @@ type counters struct {
 	running       atomic.Int64
 	engineSeconds atomicFloat
 	embedSeconds  atomicFloat
+	// Incremental-engine reuse counters, accumulated from completed
+	// jobs' engine telemetry.
+	staUpdates     atomic.Int64
+	staFullRuns    atomic.Int64
+	staCells       atomic.Int64
+	sptPatches     atomic.Int64
+	sptRebuilds    atomic.Int64
+	frontierHits   atomic.Int64
+	frontierMisses atomic.Int64
 }
 
 // CounterSnapshot is a point-in-time view of the manager's counters.
@@ -54,6 +63,24 @@ type CounterSnapshot struct {
 	EngineSeconds float64 `json:"engine_seconds"`
 	//replint:metadata -- load telemetry; never fed back into a solve
 	EmbedSeconds float64 `json:"embed_seconds"`
+	// Incremental-engine reuse across completed jobs: how many STA
+	// passes were dirty-region updates vs full runs, how many cells
+	// those updates re-propagated, and the cache hit/miss splits for
+	// critical-path trees and embedding frontiers.
+	//replint:metadata -- reuse telemetry; never fed back into a solve
+	STAUpdates int64 `json:"sta_updates"`
+	//replint:metadata -- reuse telemetry; never fed back into a solve
+	STAFullRuns int64 `json:"sta_full_runs"`
+	//replint:metadata -- reuse telemetry; never fed back into a solve
+	STACellsRepropagated int64 `json:"sta_cells_repropagated"`
+	//replint:metadata -- reuse telemetry; never fed back into a solve
+	SPTPatches int64 `json:"spt_patches"`
+	//replint:metadata -- reuse telemetry; never fed back into a solve
+	SPTRebuilds int64 `json:"spt_rebuilds"`
+	//replint:metadata -- reuse telemetry; never fed back into a solve
+	FrontierHits int64 `json:"frontier_hits"`
+	//replint:metadata -- reuse telemetry; never fed back into a solve
+	FrontierMisses int64 `json:"frontier_misses"`
 }
 
 // Counters snapshots the manager's counters.
@@ -70,7 +97,14 @@ func (m *Manager) Counters() CounterSnapshot {
 		Workers:           m.cfg.Workers,
 		QueueDepth:        m.QueueDepth(),
 		QueueCapacity:     m.cfg.QueueDepth,
-		EngineSeconds:     m.c.engineSeconds.load(),
-		EmbedSeconds:      m.c.embedSeconds.load(),
+		EngineSeconds:        m.c.engineSeconds.load(),
+		EmbedSeconds:         m.c.embedSeconds.load(),
+		STAUpdates:           m.c.staUpdates.Load(),
+		STAFullRuns:          m.c.staFullRuns.Load(),
+		STACellsRepropagated: m.c.staCells.Load(),
+		SPTPatches:           m.c.sptPatches.Load(),
+		SPTRebuilds:          m.c.sptRebuilds.Load(),
+		FrontierHits:         m.c.frontierHits.Load(),
+		FrontierMisses:       m.c.frontierMisses.Load(),
 	}
 }

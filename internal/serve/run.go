@@ -115,6 +115,7 @@ func ExecuteJob(ctx context.Context, spec JobSpec) (*Result, error) {
 		res.FFRelocations = st.FFRelocations
 		res.StoppedEarly = st.StoppedEarly
 		res.Phases = st.Phases
+		res.Incremental = st.Incremental
 	}
 	res.EngineSeconds = time.Since(t0).Seconds()
 

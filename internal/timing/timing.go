@@ -43,6 +43,13 @@ type Analysis struct {
 	Period float64
 	// CritSink is the sink realizing Period.
 	CritSink netlist.CellID
+	// SecondArr is the worst sink arrival excluding CritSink
+	// (math.Inf(-1) when no other sink exists). The engine's selection
+	// bound needs it, and folding it into the period reduction keeps it
+	// free for both the full and incremental passes.
+	SecondArr float64
+	// SecondSink is the sink realizing SecondArr.
+	SecondSink netlist.CellID
 	// Order is the combinational topological order used.
 	Order []netlist.CellID
 }
@@ -154,105 +161,21 @@ func AnalyzeCustomWorkersCtx(ctx context.Context, nl *netlist.Netlist, wireOf Wi
 	for i := range a.SinkArr {
 		a.SinkArr[i] = math.Inf(-1)
 	}
-	down := a.Down
-	for i := range down {
-		down[i] = math.Inf(-1)
+	for i := range a.Down {
+		a.Down[i] = math.Inf(-1)
 	}
 	for i := range a.Through {
 		a.Through[i] = math.Inf(-1)
 	}
 
-	// forward computes one cell's output arrival and, for purely
-	// combinational sinks, its path arrival. Registered LUTs are both
-	// source and sink: their output arrival is 0, but their *input*
-	// arrival depends on drivers that the topological order does not
-	// place before them (edges into timing sources do not constrain
-	// it), so it is deferred to regArr below, after every Arr is
-	// final.
-	forward := func(id netlist.CellID) {
-		c := nl.Cell(id)
-		if c.IsSource() {
-			a.Arr[id] = 0
-			return
-		}
-		worstIn := math.Inf(-1)
-		haveIn := false
-		for _, net := range c.Fanin {
-			if net == netlist.None {
-				continue
-			}
-			u := nl.Net(net).Driver
-			t := a.Arr[u] + wireOf(u, id)
-			if t > worstIn {
-				worstIn = t
-			}
-			haveIn = true
-		}
-		if c.IsSink() && haveIn {
-			a.SinkArr[id] = worstIn + Intrinsic(dm, c)
-		}
-		if c.Kind == netlist.LUT {
-			if haveIn {
-				a.Arr[id] = worstIn + dm.LUTDelay
-			} else {
-				a.Arr[id] = 0 // floating LUT: treat as constant source
-			}
-		}
-	}
-	// regArr finishes a registered sink once all arrivals are final.
-	regArr := func(id netlist.CellID) {
-		c := nl.Cell(id)
-		worstIn := math.Inf(-1)
-		haveIn := false
-		for _, net := range c.Fanin {
-			if net == netlist.None {
-				continue
-			}
-			u := nl.Net(net).Driver
-			t := a.Arr[u] + wireOf(u, id)
-			if t > worstIn {
-				worstIn = t
-			}
-			haveIn = true
-		}
-		if haveIn {
-			a.SinkArr[id] = worstIn + Intrinsic(dm, c)
-		}
-	}
-	// backward computes one cell's worst downstream delay and Through.
-	// A registered LUT lies on two kinds of paths — those ending at
-	// its input (SinkArr) and those starting at its output (Arr +
-	// downstream) — so Through takes the maximum of both.
-	backward := func(id netlist.CellID) {
-		c := nl.Cell(id)
-		if c.IsSink() && !math.IsInf(a.SinkArr[id], -1) {
-			a.Through[id] = a.SinkArr[id]
-		}
-		if c.Out == netlist.None {
-			return
-		}
-		for _, p := range nl.Net(c.Out).Sinks {
-			v := p.Cell
-			vc := nl.Cell(v)
-			wire := wireOf(id, v)
-			var tail float64
-			if vc.IsSink() {
-				tail = wire + Intrinsic(dm, vc)
-			} else if !math.IsInf(down[v], -1) {
-				tail = wire + dm.LUTDelay + down[v]
-			} else {
-				continue // v reaches no sink
-			}
-			if tail > down[id] {
-				down[id] = tail
-			}
-		}
-		if !math.IsInf(down[id], -1) {
-			if t := a.Arr[id] + down[id]; t > a.Through[id] {
-				a.Through[id] = t
-			}
-		}
-	}
+	// The per-cell kernels are shared with the incremental engine
+	// (incremental.go): evaluating the same float expressions in the
+	// same order is what makes incremental results Float64bits-identical
+	// to a from-scratch pass.
+	p := &pass{nl: nl, wireOf: wireOf, dm: dm, a: a}
+	forward := p.forward
+	regArr := p.regArr
+	backward := p.backward
 
 	var regs []netlist.CellID
 	for _, id := range order {
@@ -283,7 +206,7 @@ func AnalyzeCustomWorkersCtx(ctx context.Context, nl *netlist.Netlist, wireOf Wi
 		// the backward pass), so each level fans out across workers.
 		// Cancellation is checked between levels: a level's workers
 		// always run to completion, so no goroutine outlives the call.
-		levels := levelize(nl, order)
+		levels, _ := levelize(nl, order)
 		for _, lv := range levels {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -299,15 +222,7 @@ func AnalyzeCustomWorkersCtx(ctx context.Context, nl *netlist.Netlist, wireOf Wi
 		}
 	}
 
-	// Period/CritSink reduction in topological order (first sink to
-	// strictly exceed the running maximum wins), so serial and
-	// parallel agree on tie-breaking.
-	for _, id := range order {
-		if t := a.SinkArr[id]; !math.IsInf(t, -1) && t > a.Period {
-			a.Period = t
-			a.CritSink = id
-		}
-	}
+	a.reducePeriod(order)
 	if math.IsInf(a.Period, -1) {
 		return nil, fmt.Errorf("timing: netlist %s has no timing sinks", nl.Name)
 	}
@@ -317,11 +232,155 @@ func AnalyzeCustomWorkersCtx(ctx context.Context, nl *netlist.Netlist, wireOf Wi
 	return a, nil
 }
 
+// pass bundles the inputs of one STA evaluation. Its methods are the
+// per-cell kernels shared by the full analyzer and the incremental
+// engine: each kernel recomputes its cell's outputs from scratch with
+// a fixed float expression order, so re-running a kernel over
+// bitwise-unchanged inputs reproduces bitwise-unchanged outputs — the
+// exactness contract the incremental path is built on. Every kernel
+// writes all of its cell's outputs (assigning the defaults explicitly
+// where the original closures relied on array initialization), which
+// makes the kernels idempotent under repeated application.
+type pass struct {
+	nl     *netlist.Netlist
+	wireOf WireDelayFunc
+	dm     arch.DelayModel
+	a      *Analysis
+}
+
+// worstInput returns the worst arrival over the cell's fanin
+// connections and whether any fanin exists.
+func (p *pass) worstInput(id netlist.CellID) (float64, bool) {
+	c := p.nl.Cell(id)
+	worstIn := math.Inf(-1)
+	haveIn := false
+	for _, net := range c.Fanin {
+		if net == netlist.None {
+			continue
+		}
+		u := p.nl.Net(net).Driver
+		t := p.a.Arr[u] + p.wireOf(u, id)
+		if t > worstIn {
+			worstIn = t
+		}
+		haveIn = true
+	}
+	return worstIn, haveIn
+}
+
+// forward computes one cell's output arrival and, for purely
+// combinational sinks, its path arrival. Registered LUTs are both
+// source and sink: their output arrival is 0, but their *input*
+// arrival depends on drivers that the topological order does not
+// place before them (edges into timing sources do not constrain it),
+// so it is deferred to regArr, after every Arr is final.
+func (p *pass) forward(id netlist.CellID) {
+	c := p.nl.Cell(id)
+	if c.IsSource() {
+		p.a.Arr[id] = 0
+		return
+	}
+	worstIn, haveIn := p.worstInput(id)
+	if c.IsSink() {
+		if haveIn {
+			p.a.SinkArr[id] = worstIn + Intrinsic(p.dm, c)
+		} else {
+			p.a.SinkArr[id] = math.Inf(-1)
+		}
+	}
+	if c.Kind == netlist.LUT {
+		if haveIn {
+			p.a.Arr[id] = worstIn + p.dm.LUTDelay
+		} else {
+			p.a.Arr[id] = 0 // floating LUT: treat as constant source
+		}
+	}
+}
+
+// regArr finishes a registered sink once all arrivals are final.
+func (p *pass) regArr(id netlist.CellID) {
+	c := p.nl.Cell(id)
+	worstIn, haveIn := p.worstInput(id)
+	if haveIn {
+		p.a.SinkArr[id] = worstIn + Intrinsic(p.dm, c)
+	} else {
+		p.a.SinkArr[id] = math.Inf(-1)
+	}
+}
+
+// backward computes one cell's worst downstream delay and Through.
+// A registered LUT lies on two kinds of paths — those ending at
+// its input (SinkArr) and those starting at its output (Arr +
+// downstream) — so Through takes the maximum of both.
+func (p *pass) backward(id netlist.CellID) {
+	c := p.nl.Cell(id)
+	down := math.Inf(-1)
+	if c.Out != netlist.None {
+		for _, pn := range p.nl.Net(c.Out).Sinks {
+			v := pn.Cell
+			vc := p.nl.Cell(v)
+			wire := p.wireOf(id, v)
+			var tail float64
+			if vc.IsSink() {
+				tail = wire + Intrinsic(p.dm, vc)
+			} else if !math.IsInf(p.a.Down[v], -1) {
+				tail = wire + p.dm.LUTDelay + p.a.Down[v]
+			} else {
+				continue // v reaches no sink
+			}
+			if tail > down {
+				down = tail
+			}
+		}
+	}
+	p.a.Down[id] = down
+	th := math.Inf(-1)
+	if c.IsSink() && !math.IsInf(p.a.SinkArr[id], -1) {
+		th = p.a.SinkArr[id]
+	}
+	if !math.IsInf(down, -1) {
+		if t := p.a.Arr[id] + down; t > th {
+			th = t
+		}
+	}
+	p.a.Through[id] = th
+}
+
+// reducePeriod recomputes Period/CritSink and the runner-up
+// SecondArr/SecondSink by scanning sink arrivals over ids in
+// topological order (first sink to strictly exceed the running maximum
+// wins), so serial, parallel, and incremental passes agree on
+// tie-breaking. Non-sinks carry SinkArr = -Inf and are skipped, so
+// passing the full order or just the sinks in order is equivalent.
+func (a *Analysis) reducePeriod(ids []netlist.CellID) {
+	a.Period = math.Inf(-1)
+	a.CritSink = 0
+	a.SecondArr = math.Inf(-1)
+	a.SecondSink = 0
+	for _, id := range ids {
+		t := a.SinkArr[id]
+		if math.IsInf(t, -1) {
+			continue
+		}
+		if t > a.Period {
+			a.SecondArr = a.Period
+			a.SecondSink = a.CritSink
+			a.Period = t
+			a.CritSink = id
+		} else if t > a.SecondArr {
+			a.SecondArr = t
+			a.SecondSink = id
+		}
+	}
+}
+
 // levelize buckets the live cells by combinational depth: sources at
 // level 0, every other cell one past its deepest fanin driver. Within
 // a level cells keep their topological order, so chunked reductions
-// stay deterministic.
-func levelize(nl *netlist.Netlist, order []netlist.CellID) [][]netlist.CellID {
+// stay deterministic. The second result maps each cell to its level
+// (meaningful for cells in order only); the incremental engine keys
+// its worklist buckets by it.
+func levelize(nl *netlist.Netlist, order []netlist.CellID) ([][]netlist.CellID, []int32) {
 	lvl := make([]int32, nl.Cap())
 	maxl := int32(0)
 	for _, id := range order {
@@ -348,7 +407,7 @@ func levelize(nl *netlist.Netlist, order []netlist.CellID) [][]netlist.CellID {
 	for _, id := range order {
 		levels[lvl[id]] = append(levels[lvl[id]], id)
 	}
-	return levels
+	return levels, lvl
 }
 
 // runLevel applies fn to every cell of one level, fanning out across
