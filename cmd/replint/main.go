@@ -17,7 +17,11 @@
 // -C or the working directory, so editor jump-to-line works from
 // anywhere. With -json, findings are emitted as a JSON array of
 // {file, line, col, rule, msg, suppressed, reason} objects —
-// suppressed findings included and flagged.
+// suppressed findings included and flagged. With -sarif, findings are
+// emitted as a SARIF 2.1.0 log suitable for GitHub code scanning
+// upload: unsuppressed findings are level=error, suppressed ones are
+// level=note with an inSource suppression carrying the directive's
+// justification.
 //
 // Exit status is 1 when any unsuppressed finding (or malformed replint
 // directive) is reported, 2 on operational errors.
@@ -56,6 +60,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	verbose := fs.Bool("v", false, "also show suppressed findings and type-check diagnostics")
 	dir := fs.String("C", "", "change to this directory before resolving the module root")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array (suppressed findings included, flagged)")
+	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log (suppressed findings included as suppressed notes)")
 	fs.Parse(argv)
 
 	if *rules {
@@ -66,7 +71,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			"\t(trailing: suppresses its own line; standalone: the next line)\n"+
 			"\t//replint:metadata -- reason\n"+
 			"\t(on a struct field or type decl: field carries sanctioned\n"+
-			"\tnondeterministic metadata; detflow absorbs stores into it)\n")
+			"\tnondeterministic metadata; detflow absorbs stores into it)\n"+
+			"\t//replint:guarded gen=<counter field>\n"+
+			"\t(on a struct field: writes must be post-dominated by a bump\n"+
+			"\tof the sibling counter before return; stalegen enforces it)\n")
 		return 0
 	}
 
@@ -118,8 +126,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return filepath.ToSlash(name)
 	}
 
+	machine := *asJSON || *asSARIF
 	bad := 0
 	var jsonOut []jsonFinding
+	var allFindings []analysis.Finding
 	for _, path := range paths {
 		pkg := mod.Package(path)
 		if pkg == nil {
@@ -140,13 +150,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 					Suppressed: f.Suppressed, Reason: f.Reason,
 				})
 			}
+			if *asSARIF {
+				allFindings = append(allFindings, f)
+			}
 			if f.Suppressed {
-				if !*asJSON && *verbose {
+				if !machine && *verbose {
 					fmt.Fprintf(stdout, "%s [suppressed: %s]\n", f, f.Reason)
 				}
 				continue
 			}
-			if !*asJSON {
+			if !machine {
 				fmt.Fprintln(stdout, f)
 			}
 			bad++
@@ -159,6 +172,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			jsonOut = []jsonFinding{}
 		}
 		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(stderr, "replint:", err)
+			return 2
+		}
+	}
+	if *asSARIF {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifReport(analysis.All(), allFindings)); err != nil {
 			fmt.Fprintln(stderr, "replint:", err)
 			return 2
 		}

@@ -92,6 +92,10 @@ func All() []*Analyzer {
 		CtxStride,
 		HotAlloc,
 		ShardWrite,
+		StaleGen,
+		LockOrder,
+		WGLeak,
+		DeferBal,
 	}
 }
 

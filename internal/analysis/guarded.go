@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// guarded.go resolves //replint:guarded gen=<counter> directives to
+// (field, counter) object pairs. The directive lives on a struct field
+// (doc or trailing comment) and names a sibling field of the same
+// struct as its generation counter; stalegen then demands every write
+// to the guarded field be post-dominated by a bump of the counter.
+
+// guardIssue is a directive placement problem found while resolving
+// guarded annotations, reported under the reserved "directive" rule by
+// the stalegen pass of the package that declares it.
+type guardIssue struct {
+	pos token.Pos
+	msg string
+}
+
+// collectGuardedFields resolves every guarded directive of the module.
+// The first result maps each guarded field object to its counter field
+// object; the second collects directives that parse but do not resolve
+// (not on a struct field, or the counter is not an integer sibling
+// field), keyed by declaring package.
+func collectGuardedFields(m *Module) (map[types.Object]types.Object, map[*Package][]guardIssue) {
+	guard := map[types.Object]types.Object{}
+	bad := map[*Package][]guardIssue{}
+	// unclaimed tracks every well-formed guarded comment by position;
+	// field resolution removes the ones it consumes, and the leftovers
+	// are misplaced directives.
+	type site struct {
+		pkg     *Package
+		counter string
+	}
+	unclaimed := map[token.Pos]site{}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if pd, ok := parseDirective(c.Text); ok && pd.Kind == "guarded" {
+						unclaimed[c.Pos()] = site{pkg: pkg, counter: pd.Counter}
+					}
+				}
+			}
+		}
+	}
+
+	claim := func(field *ast.Field) (string, bool) {
+		for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				if s, ok := unclaimed[c.Pos()]; ok {
+					delete(unclaimed, c.Pos())
+					return s.counter, true
+				}
+			}
+		}
+		return "", false
+	}
+
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					counter, ok := claim(field)
+					if !ok {
+						continue
+					}
+					cf := structFieldNamed(st, counter)
+					pos := field.Pos()
+					switch {
+					case cf == nil:
+						bad[pkg] = append(bad[pkg], guardIssue{pos: pos,
+							msg: "//replint:guarded counter " + counter + " is not a field of the enclosing struct"})
+					case len(cf.Names) != 1 || !integerField(pkg, cf):
+						bad[pkg] = append(bad[pkg], guardIssue{pos: pos,
+							msg: "//replint:guarded counter " + counter + " must be a single unsigned-integer field"})
+					default:
+						counterObj := pkg.Info.Defs[cf.Names[0]]
+						for _, name := range field.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil && counterObj != nil {
+								guard[obj] = counterObj
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Whatever no struct field claimed is a misplaced directive.
+	for pos, s := range unclaimed {
+		bad[s.pkg] = append(bad[s.pkg], guardIssue{pos: pos,
+			msg: "//replint:guarded applies to struct fields (doc or trailing comment)"})
+	}
+	return guard, bad
+}
+
+// structFieldNamed finds the field of st declaring the given name.
+func structFieldNamed(st *ast.StructType, name string) *ast.Field {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// integerField reports whether the (single-name) field has an integer
+// type — the only shape that can act as a generation counter.
+func integerField(pkg *Package, f *ast.Field) bool {
+	if len(f.Names) == 0 {
+		return false
+	}
+	obj := pkg.Info.Defs[f.Names[0]]
+	if obj == nil {
+		return false
+	}
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -6,7 +6,7 @@ import (
 	"strings"
 )
 
-// replint honors two comment directives:
+// replint honors four comment directives:
 //
 //	//replint:ignore rule1,rule2 -- reason
 //	    Suppresses findings of the listed rules. A trailing comment
@@ -26,6 +26,13 @@ import (
 //	    nondeterministic metadata (wall-clock diagnostics): the detflow
 //	    taint engine absorbs values stored into them. The reason is
 //	    mandatory, same as for ignore directives.
+//
+//	//replint:guarded gen=<counter>
+//	    Placed on a struct field (doc or trailing comment), declares
+//	    the field to be generation-guarded derived state: every write
+//	    to it must be post-dominated by a bump of the sibling counter
+//	    field named by gen= before the mutating function returns (see
+//	    the stalegen rule).
 
 // directiveRule is the reserved rule ID for malformed directives.
 const directiveRule = "directive"
@@ -34,6 +41,57 @@ var ignoreRE = regexp.MustCompile(`^//replint:ignore\s+([A-Za-z0-9_,]+)\s+--\s+(
 
 // helperDirective is the marker for designated float-compare helpers.
 const helperDirective = "//replint:floatcmp-helper"
+
+const guardedPrefix = "//replint:guarded"
+
+var guardedRE = regexp.MustCompile(`^//replint:guarded\s+gen=([A-Za-z_][A-Za-z0-9_]*)\s*$`)
+
+// parsedDirective is the outcome of parsing one //replint: comment.
+type parsedDirective struct {
+	// Kind is "ignore", "metadata", "guarded", or "helper" for a
+	// well-formed directive; empty when Err is set.
+	Kind string
+	// Rules holds the rule IDs an ignore directive suppresses.
+	Rules []string
+	// Reason is the justification text of ignore/metadata directives.
+	Reason string
+	// Counter is the generation-counter field name of a guarded
+	// directive.
+	Counter string
+	// Err is the malformed-directive message, empty when well-formed.
+	Err string
+}
+
+// parseDirective parses one comment's text. The second result is false
+// when the comment is not a replint directive at all. It is the single
+// syntax authority for every directive form, tolerant of CRLF sources
+// (a trailing \r never changes the verdict).
+func parseDirective(text string) (parsedDirective, bool) {
+	text = strings.TrimRight(text, "\r")
+	if !strings.HasPrefix(text, "//replint:") {
+		return parsedDirective{}, false
+	}
+	switch {
+	case strings.HasPrefix(text, helperDirective):
+		return parsedDirective{Kind: "helper"}, true
+	case strings.HasPrefix(text, metadataPrefix):
+		if !metadataRE.MatchString(text) {
+			return parsedDirective{Err: `malformed replint directive; want "//replint:metadata -- reason"`}, true
+		}
+		return parsedDirective{Kind: "metadata", Reason: strings.TrimSpace(strings.SplitN(text, "--", 2)[1])}, true
+	case strings.HasPrefix(text, guardedPrefix):
+		m := guardedRE.FindStringSubmatch(text)
+		if m == nil {
+			return parsedDirective{Err: `malformed replint directive; want "//replint:guarded gen=<counter field>"`}, true
+		}
+		return parsedDirective{Kind: "guarded", Counter: m[1]}, true
+	}
+	m := ignoreRE.FindStringSubmatch(text)
+	if m == nil {
+		return parsedDirective{Err: `malformed replint directive; want "//replint:ignore rule[,rule...] -- reason"`}, true
+	}
+	return parsedDirective{Kind: "ignore", Rules: strings.Split(m[1], ","), Reason: m[2]}, true
+}
 
 // directives indexes the parsed ignore directives of one package.
 type directives struct {
@@ -62,34 +120,22 @@ func collectDirectives(pkg *Package) *directives {
 }
 
 func (d *directives) addComment(pkg *Package, c *ast.Comment) {
-	text := c.Text
-	if !strings.HasPrefix(text, "//replint:") {
+	pd, ok := parseDirective(c.Text)
+	if !ok {
 		return
-	}
-	if strings.HasPrefix(text, helperDirective) {
-		return // handled structurally by floatcmp
 	}
 	pos := pkg.Fset.Position(c.Pos())
-	if strings.HasPrefix(text, metadataPrefix) {
-		if !metadataRE.MatchString(text) {
-			d.malformed = append(d.malformed, Finding{
-				Pos:  pos,
-				Rule: directiveRule,
-				Msg:  `malformed replint directive; want "//replint:metadata -- reason"`,
-			})
-		}
-		return // field resolution happens in collectMetadataFields
-	}
-	m := ignoreRE.FindStringSubmatch(text)
-	if m == nil {
-		d.malformed = append(d.malformed, Finding{
-			Pos:  pos,
-			Rule: directiveRule,
-			Msg:  `malformed replint directive; want "//replint:ignore rule[,rule...] -- reason"`,
-		})
+	if pd.Err != "" {
+		d.malformed = append(d.malformed, Finding{Pos: pos, Rule: directiveRule, Msg: pd.Err})
 		return
 	}
-	entry := ignoreEntry{rules: strings.Split(m[1], ","), reason: m[2]}
+	if pd.Kind != "ignore" {
+		// helper, metadata, and guarded directives are resolved
+		// structurally (floatcmp, collectMetadataFields,
+		// collectGuardedFields).
+		return
+	}
+	entry := ignoreEntry{rules: pd.Rules, reason: pd.Reason}
 	// A comment with code before it on its line shields that line; a
 	// comment alone on its line shields the next line.
 	line := pos.Line

@@ -37,6 +37,16 @@ type Module struct {
 	meta   map[types.Object]bool // //replint:metadata-designated fields
 	polls  map[*types.Func]bool  // transitively polls cancellation
 	hot    map[*types.Func]bool  // reachable from an embed Solve root
+
+	// Flow-sensitive layer: //replint:guarded field→counter pairs (and
+	// their placement issues), noreturn summaries threaded into CFG
+	// construction, the per-body CFG cache, and the lazily built lock
+	// discipline facts.
+	guard    map[types.Object]types.Object
+	guardBad map[*Package][]guardIssue
+	noreturn map[*types.Func]bool
+	cfgs     map[*ast.BlockStmt]*cfg
+	locks    *lockFactsData
 }
 
 // ModFunc is one declared function or method with a body. Function
@@ -83,7 +93,31 @@ func BuildModule(loader *Loader) (*Module, error) {
 	m.taint = buildTaint(m)
 	m.polls = buildPollsSummary(m)
 	m.hot = buildHotSet(m)
+	m.noreturn = buildNoReturn(m)
+	m.cfgs = map[*ast.BlockStmt]*cfg{}
+	m.guard, m.guardBad = collectGuardedFields(m)
 	return m, nil
+}
+
+// cfgOf returns the (cached) control-flow graph of one function or
+// function-literal body, built with the module's noreturn summaries so
+// fatalf-style wrappers terminate their paths.
+func (m *Module) cfgOf(pkg *Package, body *ast.BlockStmt) *cfg {
+	if c, ok := m.cfgs[body]; ok {
+		return c
+	}
+	c := buildCFG(pkg, body, m.noreturn)
+	m.cfgs[body] = c
+	return c
+}
+
+// lockFacts returns the module's lock-discipline facts, built on first
+// demand (they need the CFG layer, which needs noreturn summaries).
+func (m *Module) lockFacts() *lockFactsData {
+	if m.locks == nil {
+		m.locks = buildLockFacts(m)
+	}
+	return m.locks
 }
 
 // Package returns the loaded package with the given import path, or

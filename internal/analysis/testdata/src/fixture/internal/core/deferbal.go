@@ -1,0 +1,132 @@
+// Fixture for the deferbal rule: a Lock/RLock must be balanced by its
+// matching release on every path to return, and a file opened from os
+// must be closed on every path from its first use unless ownership
+// escapes. The stride-cancel early return — checking ctx.Err() every
+// N iterations and bailing out mid-sweep — is the shape that loses
+// manual releases.
+package core
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+// tally owns one mutex guarding its accumulator.
+type tally struct {
+	mu sync.Mutex
+	n  int
+}
+
+// addAll is the clean deferred shape: the unlock runs on every path,
+// including ones that do not exist yet.
+func (t *tally) addAll(vs []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, v := range vs {
+		t.n += v
+	}
+}
+
+// tryAdd releases manually but covers both returns: clean.
+func (t *tally) tryAdd(v int) bool {
+	t.mu.Lock()
+	if v < 0 {
+		t.mu.Unlock()
+		return false
+	}
+	t.n += v
+	t.mu.Unlock()
+	return true
+}
+
+// drain cancels at stride boundaries but returns out of the sweep
+// still holding the lock: the early return the defer would have
+// covered.
+func (t *tally) drain(ctx context.Context, vs []int) error {
+	t.mu.Lock() // want deferbal
+	for i, v := range vs {
+		if i%512 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		t.n += v
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// rw pairs the read form: RLock needs RUnlock, and the shared/exclusive
+// forms do not satisfy each other.
+type rw struct {
+	mu  sync.RWMutex
+	val int
+}
+
+// get is the clean read-side shape.
+func (r *rw) get() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.val
+}
+
+// getIf leaks the read lock on the miss path.
+func (r *rw) getIf(want int) (int, bool) {
+	r.mu.RLock() // want deferbal
+	if r.val != want {
+		return 0, false
+	}
+	v := r.val
+	r.mu.RUnlock()
+	return v, true
+}
+
+// readHeader closes on the happy path only: the mid-function error
+// return leaks the descriptor.
+func readHeader(path string) ([]byte, error) {
+	f, err := os.Open(path) // want deferbal
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err
+	}
+	f.Close()
+	return buf, nil
+}
+
+// readAll defers the close at first use: every path is covered, and
+// the error-check return before the defer carries no obligation
+// because the file was never valid there.
+func readAll(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	n, err := f.Read(buf)
+	return n, err
+}
+
+// openLog hands the descriptor to the caller: ownership escapes and
+// the obligation goes with it.
+func openLog(dir string) (*os.File, error) {
+	f, err := os.Create(dir + "/log")
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// probe documents why its leaked descriptor is acceptable.
+func probe(path string) bool {
+	//replint:ignore deferbal -- fixture: probe processes exit immediately; the kernel reclaims the descriptor
+	f, err := os.Open(path) // wantsuppressed deferbal
+	if err != nil {
+		return false
+	}
+	buf := make([]byte, 1)
+	_, rerr := f.Read(buf)
+	return rerr == nil
+}

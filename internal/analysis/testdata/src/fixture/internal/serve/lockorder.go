@@ -1,0 +1,124 @@
+// Fixture for the lockorder rule: consistent mutex acquisition order,
+// no exclusive re-acquisition while held, lock-guarded fields must be
+// accessed under their struct's mutex, and atomic-touched fields must
+// never be accessed plainly. Every lock here is balanced with a defer
+// so the deferbal rule stays out of the frame.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// registry owns exactly one mutex, so fields written under it become
+// lock-guarded for the whole module.
+type registry struct {
+	mu    sync.Mutex
+	slots map[string]int
+	next  int
+}
+
+// register writes both fields under the lock: this is what makes them
+// guarded.
+func (r *registry) register(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.next
+	r.next++
+	r.slots[name] = id
+	return id
+}
+
+// peek reads a guarded field without the lock: the classic racy read.
+func (r *registry) peek(name string) int {
+	return r.slots[name] // want lockorder
+}
+
+// reset writes a guarded field without the lock.
+func (r *registry) reset() {
+	r.next = 0 // want lockorder
+}
+
+// snapshotLocked declares the held-by-caller contract through its
+// name: accesses inside are trusted to be under the caller's lock.
+func (r *registry) snapshotLocked() map[string]int {
+	out := make(map[string]int, len(r.slots))
+	for k, v := range r.slots {
+		out[k] = v
+	}
+	return out
+}
+
+// snapshot takes the lock and delegates to the Locked helper: clean on
+// both sides.
+func (r *registry) snapshot() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+// newRegistry initializes a fresh value: construction writes are not
+// guarded accesses.
+func newRegistry() *registry {
+	r := &registry{slots: map[string]int{}}
+	r.next = 1
+	return r
+}
+
+// reacquire takes the exclusive lock it already holds: an immediate
+// self-deadlock.
+func (r *registry) reacquire() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want lockorder
+	defer r.mu.Unlock()
+}
+
+// pair holds two mutexes so acquisition order between them matters.
+type pair struct {
+	muA sync.Mutex
+	muB sync.Mutex
+}
+
+// lockAB acquires A then B; lockBA acquires B then A. Either order
+// alone is fine — together they can deadlock, and both witnesses are
+// reported.
+func (p *pair) lockAB() {
+	p.muA.Lock()
+	defer p.muA.Unlock()
+	p.muB.Lock() // want lockorder
+	defer p.muB.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.muB.Lock()
+	defer p.muB.Unlock()
+	p.muA.Lock() // want lockorder
+	defer p.muA.Unlock()
+}
+
+// stats mixes old-style atomics with plain access.
+type stats struct {
+	hits uint64
+	name string
+}
+
+// bump touches hits through sync/atomic: the sanctioned form.
+func (s *stats) bump() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// read accesses the same field plainly, tearing against bump.
+func (s *stats) read() uint64 {
+	return s.hits // want lockorder
+}
+
+// label is untouched by atomics and stays free.
+func (s *stats) label() string { return s.name }
+
+// drainAll documents a sanctioned unlocked read during single-threaded
+// teardown.
+func (r *registry) drainAll() int {
+	//replint:ignore lockorder -- fixture: teardown runs after all workers joined; no concurrent access remains
+	return r.next // wantsuppressed lockorder
+}

@@ -1,0 +1,139 @@
+// Fixture for the wgleak rule: every goroutine needs a termination
+// story — a WaitGroup joined by the launcher (with Add before the
+// launch, Done deferred inside, and Wait post-dominating the launch
+// for launcher-local groups), a done channel the launcher consumes,
+// a channel the goroutine drains with range, or cancellation polling.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// fanOut is the clean local-WaitGroup shape: Add before go, deferred
+// Done inside, Wait on every path after the launches.
+func fanOut(n int) int {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+// fanOutAbort leaks on the abort path: the early return between the
+// launches and Wait exits while goroutines still run — exactly the
+// flow-sensitive miss an AST check cannot see.
+func fanOutAbort(n int, abort bool) int {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want wgleak
+			defer wg.Done()
+		}()
+	}
+	if abort {
+		return 0
+	}
+	wg.Wait()
+	return n
+}
+
+// addInside moves Add into the goroutine, racing the launcher's Wait:
+// Wait can observe the zero count and return before Add runs.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() { // want wgleak
+		wg.Add(1)
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// lateDone pairs correctly but does not defer the Done: anything that
+// panics before the trailing Done wedges the Wait forever.
+func lateDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want wgleak
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// runner passes its WaitGroup explicitly; the launch-site argument is
+// mapped back to the launcher's local so the Wait obligation still
+// resolves.
+func runner(wg *sync.WaitGroup, out chan<- int, v int) {
+	defer wg.Done()
+	out <- v
+}
+
+// dispatch is clean through the declared callee: Add before go,
+// deferred Done inside runner, Wait post-dominating.
+func dispatch(vs []int) int {
+	var wg sync.WaitGroup
+	out := make(chan int, len(vs))
+	for _, v := range vs {
+		wg.Add(1)
+		go runner(&wg, out, v)
+	}
+	wg.Wait()
+	return len(out)
+}
+
+// orphan has no WaitGroup, no channel anyone consumes, and never polls
+// cancellation: it can outlive every caller.
+func orphan(name string) {
+	go func() { // want wgleak
+		_ = len(name)
+	}()
+}
+
+// doneChannel joins through the done-channel idiom: the goroutine
+// sends on the channel the launcher receives from.
+func doneChannel(vs []int) int {
+	done := make(chan int, 1)
+	go func() {
+		total := 0
+		for _, v := range vs {
+			total += v
+		}
+		done <- total
+	}()
+	return <-done
+}
+
+// drainer terminates when the producer closes the channel it ranges
+// over: the worker-pool contract.
+func drainer(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// poller owns no join at all but observes cancellation every
+// iteration, so its lifetime is bounded by the context.
+func poller(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			<-tick
+		}
+	}()
+}
+
+// fireAndForget documents why its unjoined goroutine is acceptable.
+func fireAndForget(msgs chan string, m string) {
+	//replint:ignore wgleak -- fixture: best-effort notification; process exit is the only consumer contract
+	go func() { // wantsuppressed wgleak
+		msgs <- m
+	}()
+}

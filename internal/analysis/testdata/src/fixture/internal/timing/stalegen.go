@@ -1,0 +1,138 @@
+// Fixture for the stalegen rule: writes to //replint:guarded fields
+// must be post-dominated by a bump of their gen= counter before the
+// mutating function returns. The flow-sensitive cases are the point —
+// a bump on only one branch, or an early return threaded between the
+// write and the bump, is invisible to any per-statement check.
+package timing
+
+// levelCache mirrors the incremental engine's derived state: the
+// levelization and sink set are only trusted while gen matches the
+// engine's generation, so every mutation must advance gen.
+type levelCache struct {
+	levels []int        //replint:guarded gen=gen
+	sinks  map[int]bool //replint:guarded gen=gen
+	gen    uint64
+	limit  int
+}
+
+// newLevelCache initializes a fresh value: construction writes touch
+// state no reader has seen and carry no bump obligation.
+func newLevelCache(n int) *levelCache {
+	c := &levelCache{sinks: map[int]bool{}}
+	c.levels = make([]int, n)
+	return c
+}
+
+// rebuild is the clean full-recompute shape: every write path funnels
+// into the trailing bump.
+func (c *levelCache) rebuild(order []int) {
+	c.levels = c.levels[:0]
+	for _, v := range order {
+		c.levels = append(c.levels, v)
+	}
+	c.gen++
+}
+
+// poison mutates guarded state and returns without any bump: the
+// straight-line fire.
+func (c *levelCache) poison(i, v int) {
+	c.levels[i] = v // want stalegen
+}
+
+// mark bumps on one branch only — the write escapes unbumped whenever
+// flush is false. Only a path-sensitive check can see this.
+func (c *levelCache) mark(i int, flush bool) {
+	c.sinks[i] = true // want stalegen
+	if flush {
+		c.gen++
+	}
+}
+
+// set is clean: the early return happens before the write, so every
+// path that mutates also bumps.
+func (c *levelCache) set(i, v int) {
+	if i < 0 || i >= len(c.levels) {
+		return
+	}
+	c.levels[i] = v
+	c.gen++
+}
+
+// sweep bumps in a defer registered ahead of the writes: the bump runs
+// at return on every path, which discharges the obligation even though
+// no forward path from a write reaches the defer statement.
+func (c *levelCache) sweep() {
+	defer func() { c.gen++ }()
+	for i := range c.levels {
+		c.levels[i] = 0
+	}
+}
+
+// aliasPoison writes through a local alias of guarded storage: the
+// alias chase attributes the mutation to sinks and still demands the
+// bump.
+func (c *levelCache) aliasPoison(i int) {
+	s := c.sinks
+	s[i] = true // want stalegen
+}
+
+// aliasSet is the same alias shape with the bump in place.
+func (c *levelCache) aliasSet(i int) {
+	s := c.sinks
+	s[i] = true
+	c.gen++
+}
+
+// evict mutates through the delete builtin; removal invalidates
+// readers exactly like assignment does.
+func (c *levelCache) evict(i int) {
+	delete(c.sinks, i) // want stalegen
+}
+
+// patch is the stride-abort shape this rule exists for: the cap check
+// at stride boundaries returns out of the sweep after earlier
+// iterations already wrote, skipping the trailing bump.
+func (c *levelCache) patch(updates []int) bool {
+	for i, u := range updates {
+		if i%1024 == 0 && i > c.limit {
+			return false // earlier writes escape without a bump
+		}
+		if u >= 0 && u < len(c.levels) {
+			c.levels[u] = u // want stalegen
+		}
+	}
+	c.gen++
+	return true
+}
+
+// patchChecked is the fixed shape: the abort path bumps before
+// returning, so every path out of the sweep invalidates readers.
+func (c *levelCache) patchChecked(updates []int) bool {
+	for i, u := range updates {
+		if i%1024 == 0 && i > c.limit {
+			c.gen++
+			return false
+		}
+		if u >= 0 && u < len(c.levels) {
+			c.levels[u] = u
+		}
+	}
+	c.gen++
+	return true
+}
+
+// stamp documents why its unbumped write is acceptable.
+func (c *levelCache) stamp(i, v int) {
+	//replint:ignore stalegen -- fixture: callers batch one gen bump after the whole stamp pass
+	c.levels[i] = v // wantsuppressed stalegen
+}
+
+// badGuard exercises directive validation: the named counter is not a
+// sibling field, which is reported under the directive pseudo-rule.
+type badGuard struct {
+	total []int //replint:guarded gen=missing // want directive
+	gen   uint64
+}
+
+//replint:guarded gen=gen // want directive
+func misplacedGuard() {}

@@ -156,11 +156,19 @@ type CacheStats struct {
 // and every sighting after that is a hit. Not safe for concurrent use;
 // each engine owns one.
 type Cache struct {
-	cap   int
-	m     map[Fingerprint]*Result
-	fifo  []Fingerprint
+	cap int
+	// The retained-Result map and its FIFO order are generation-guarded:
+	// external snapshots (diagnostics, tests asserting deterministic hit
+	// sequences) are only comparable while gen is unchanged, so every
+	// mutation of either must advance gen before returning (replint's
+	// stalegen rule enforces this). The doorkeeper (seen/seenQ) is not
+	// guarded: it never affects what a Get returns, only future
+	// admission, so its churn is invisible to readers.
+	m     map[Fingerprint]*Result //replint:guarded gen=gen
+	fifo  []Fingerprint           //replint:guarded gen=gen
 	seen  map[Fingerprint]struct{}
 	seenQ []Fingerprint
+	gen   uint64
 	Stats CacheStats
 }
 
@@ -222,7 +230,13 @@ func (c *Cache) Put(k Fingerprint, r *Result) {
 	}
 	c.m[k] = r
 	c.fifo = append(c.fifo, k)
+	c.gen++
 }
+
+/// Gen returns the cache's content generation: it advances on every
+// admission or reset, so two observations with equal Gen saw an
+// identical retained set.
+func (c *Cache) Gen() uint64 { return c.gen }
 
 // Reset drops every entry and the doorkeeper history (used when the
 // engine invalidates all incremental state).
@@ -231,4 +245,5 @@ func (c *Cache) Reset() {
 	c.fifo = c.fifo[:0]
 	clear(c.seen)
 	c.seenQ = c.seenQ[:0]
+	c.gen++
 }

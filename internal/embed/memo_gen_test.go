@@ -1,0 +1,57 @@
+package embed
+
+import "testing"
+
+// TestCacheGen pins the generation-counter contract the stalegen
+// annotations promise: Gen advances exactly when the retained set (m,
+// fifo) changes — on admission and reset — and never on doorkeeper-only
+// Puts, duplicate Puts, or Gets.
+func TestCacheGen(t *testing.T) {
+	fp := func(i uint64) Fingerprint { return Fingerprint{Hi: i, Lo: ^i} }
+	c := NewCache(2)
+	if c.Gen() != 0 {
+		t.Fatalf("fresh cache Gen = %d, want 0", c.Gen())
+	}
+
+	r := &Result{}
+	c.Put(fp(1), r) // first sighting: doorkeeper only
+	if c.Gen() != 0 {
+		t.Errorf("doorkeeper-only Put advanced Gen to %d", c.Gen())
+	}
+	c.Put(fp(1), r) // second sighting: admitted
+	if c.Gen() != 1 {
+		t.Errorf("admission left Gen at %d, want 1", c.Gen())
+	}
+	if _, ok := c.Get(fp(1)); !ok {
+		t.Fatal("admitted entry not retrievable")
+	}
+	if c.Gen() != 1 {
+		t.Errorf("Get advanced Gen to %d", c.Gen())
+	}
+	c.Put(fp(1), r) // already retained: no-op
+	if c.Gen() != 1 {
+		t.Errorf("duplicate Put advanced Gen to %d", c.Gen())
+	}
+
+	// Fill to capacity and evict: each admission is one bump, including
+	// the evicting one.
+	c.Put(fp(2), r)
+	c.Put(fp(2), r)
+	c.Put(fp(3), r)
+	c.Put(fp(3), r) // evicts fp(1)
+	if c.Gen() != 3 {
+		t.Errorf("after two more admissions Gen = %d, want 3", c.Gen())
+	}
+	if _, ok := c.Get(fp(1)); ok {
+		t.Error("evicted entry still retrievable")
+	}
+
+	before := c.Gen()
+	c.Reset()
+	if c.Gen() != before+1 {
+		t.Errorf("Reset moved Gen %d -> %d, want +1", before, c.Gen())
+	}
+	if _, ok := c.Get(fp(3)); ok {
+		t.Error("Reset left an entry retrievable")
+	}
+}
