@@ -75,11 +75,12 @@ cover: oracle
 			if ($$3 + 0 < min) { printf "coverage %.1f%% below floor %d%%\n", $$3, min; exit 1 } \
 			else { printf "coverage %.1f%% (floor %d%%)\n", $$3, min } }'
 
-# The service layer is concurrency-dense (worker pool, drain, shared
-# counters), so its tests always run under the race detector — without
-# -short, unlike the repo-wide race sweep.
+# The service and cluster layers are concurrency-dense (worker pool,
+# drain, quorum fan-out, singleflight, shared counters), so their tests
+# always run under the race detector — without -short, unlike the
+# repo-wide race sweep.
 serve-race:
-	$(GO) test -race -count 1 ./internal/serve/...
+	$(GO) test -race -count 1 ./internal/serve/... ./internal/cluster/...
 	$(GO) test -race -count 1 -run TestRunContext ./internal/core/
 
 # The full gate, in CI order: compile, vet, lint (incl. internal/serve),

@@ -5,7 +5,17 @@
 //
 //	repld -addr :8080 -workers 4 -queue 64
 //
-// Submit with curl:
+// With -node-id and -peers it becomes one member of a static cluster:
+// job specs are content-hashed, routed to their consistent-hash-ring
+// owner, deduplicated (in-flight coalescing + a replicated result
+// cache), and completed results are quorum-replicated to N members —
+// with -store-dir, durably, so a restarted node recovers its replica
+// set from the append-only log.
+//
+//	repld -addr :8081 -node-id n1 -store-dir /var/lib/repld \
+//	      -peers n1=http://10.0.0.1:8081,n2=http://10.0.0.2:8081,n3=http://10.0.0.3:8081
+//
+// Submit with curl (any member of a cluster accepts any job):
 //
 //	curl -s localhost:8080/v1/jobs -d '{"circuit":"ex5p","algo":"lex3"}'
 //	curl -s localhost:8080/v1/jobs/j000001
@@ -13,7 +23,8 @@
 // SIGTERM/SIGINT drains gracefully: submissions are rejected, in-flight
 // jobs get -drain-timeout to finish, then their contexts are cancelled
 // (the engine stops promptly) and the jobs are reported cancelled.
-// Introspection: /debug/vars (counters), /debug/pprof/ (profiles).
+// Introspection: /debug/vars (counters, incl. the cluster section),
+// /v1/cluster/info (membership), /debug/pprof/ (profiles).
 package main
 
 import (
@@ -25,9 +36,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -39,6 +53,14 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job timeout")
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Minute, "cap on per-job requested timeouts")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+
+		nodeID   = flag.String("node-id", "", "cluster member ID (empty = single-process mode)")
+		peers    = flag.String("peers", "", "cluster membership as id=url,... (may include this node's own entry)")
+		storeDir = flag.String("store-dir", "", "directory for the durable result store (empty = in-memory)")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
+		replicas = flag.Int("replicas", 0, "replication factor N (0 = min(3, cluster size))")
+		readQ    = flag.Int("read-quorum", 0, "read quorum R (0 = derived so R+W = N+1)")
+		writeQ   = flag.Int("write-quorum", 0, "write quorum W (0 = majority of N)")
 	)
 	flag.Parse()
 
@@ -48,8 +70,25 @@ func main() {
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 	})
-	srv := serve.NewServer(m)
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	var (
+		handler http.Handler
+		node    *cluster.Node
+	)
+	if *nodeID != "" {
+		n, err := buildNode(m, *nodeID, *peers, *storeDir, *vnodes, *replicas, *readQ, *writeQ)
+		if err != nil {
+			log.Fatalf("repld: %v", err)
+		}
+		node = n
+		handler = n.Handler()
+		snap := n.Snapshot()
+		log.Printf("repld: cluster member %s of %v (N=%d R=%d W=%d, store %s)",
+			*nodeID, snap.Members, snap.N, snap.R, snap.W, storeKind(*storeDir))
+	} else {
+		handler = serve.NewServer(m).Handler()
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -73,7 +112,77 @@ func main() {
 		log.Printf("repld: http shutdown: %v", err)
 	}
 	m.Shutdown(drainCtx)
+	if node != nil {
+		// Give completed results a moment to finish replicating, then
+		// stop background writes and close (and flush) the store.
+		node.WaitSettled(2 * time.Second)
+		if err := node.Close(); err != nil {
+			log.Printf("repld: store close: %v", err)
+		}
+	}
 	c := m.Counters()
 	fmt.Printf("repld: drained — %d completed, %d failed, %d cancelled, %d rejected\n",
 		c.JobsCompleted, c.JobsFailed, c.JobsCancelled, c.JobsRejectedFull+c.JobsRejectedDrain)
+}
+
+// buildNode assembles the cluster member from the flag set.
+func buildNode(m *serve.Manager, nodeID, peerList, storeDir string, vnodes, n, r, w int) (*cluster.Node, error) {
+	peerMap, err := parsePeers(peerList, nodeID)
+	if err != nil {
+		return nil, err
+	}
+	var store cluster.Store
+	if storeDir != "" {
+		if err := os.MkdirAll(storeDir, 0o755); err != nil {
+			return nil, fmt.Errorf("store dir: %w", err)
+		}
+		path := filepath.Join(storeDir, nodeID+".results.log")
+		ds, err := cluster.OpenDiskStore(path)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("repld: recovered %d result records from %s", ds.Len(), path)
+		store = ds
+	}
+	return cluster.NewNode(m, cluster.Config{
+		NodeID: nodeID,
+		Peers:  peerMap,
+		VNodes: vnodes,
+		Quorum: cluster.QuorumConfig{N: n, R: r, W: w},
+		Store:  store,
+	})
+}
+
+// parsePeers parses "id=url,id=url", dropping this node's own entry so
+// one shared -peers string serves the whole fleet.
+func parsePeers(s, self string) (map[string]string, error) {
+	out := make(map[string]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		if id == self {
+			continue
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers entry %q", id)
+		}
+		out[id] = strings.TrimSuffix(url, "/")
+	}
+	return out, nil
+}
+
+func storeKind(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return "disk:" + dir
 }

@@ -1,24 +1,34 @@
-// Command replload load-tests a repld daemon: it fires N replication
-// jobs at bounded concurrency, retries queue rejections with backoff,
-// and reports latency percentiles, throughput, rejection counts, and a
-// determinism cross-check (identical specs must produce bit-identical
-// optimized periods).
+// Command replload load-tests a repld daemon or cluster: it fires N
+// replication jobs at bounded concurrency across one or more
+// endpoints, absorbs 429 backpressure with the client's jittered
+// exponential backoff, and reports latency percentiles (overall and
+// per executing node), throughput, the cluster's cache hit rate, and
+// a determinism cross-check (identical specs must produce
+// bit-identical results, wherever and however they were served).
 //
 //	repld -addr :8080 &
 //	replload -n 50 -concurrency 8 -circuit ex5p -scale 0.1
 //
-// Exit status is 1 when any non-rejected job fails or determinism is
-// violated.
+// Against a cluster, list every member and introduce duplicates:
+//
+//	replload -addrs http://n1:8081,http://n2:8082,http://n3:8083 \
+//	         -n 30 -distinct 15
+//
+// -distinct K cycles K distinct placement seeds across the N jobs, so
+// K < N submits duplicate specs the cluster should coalesce or serve
+// from its result cache.
+//
+// Exit status is 1 when any job fails or determinism is violated.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/serve"
@@ -28,6 +38,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "http://localhost:8080", "repld base URL")
+		addrs       = flag.String("addrs", "", "comma-separated endpoint list (overrides -addr)")
 		n           = flag.Int("n", 50, "total jobs to submit")
 		concurrency = flag.Int("concurrency", 8, "concurrent in-flight jobs")
 		circuit     = flag.String("circuit", "ex5p", "suite circuit per job")
@@ -36,21 +47,41 @@ func main() {
 		maxIters    = flag.Int("max-iters", 10, "engine iteration cap per job (0 = engine default)")
 		route       = flag.Bool("route", false, "route each job after optimization")
 		timeoutMS   = flag.Int("timeout-ms", 0, "per-job timeout (0 = server default)")
-		varySeed    = flag.Bool("vary-seed", false, "give each job a distinct placement seed (disables the determinism check)")
+		distinct    = flag.Int("distinct", 1, "distinct placement seeds cycled across jobs (<n introduces duplicates; 0 or >=n makes every job unique)")
+		varySeed    = flag.Bool("vary-seed", false, "give each job a distinct placement seed (same as -distinct=n)")
 		poll        = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
 		wait        = flag.Duration("wait", 10*time.Minute, "overall deadline")
 	)
 	flag.Parse()
 
+	endpoints := []string{*addr}
+	if *addrs != "" {
+		endpoints = nil
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				endpoints = append(endpoints, a)
+			}
+		}
+	}
+	groups := *distinct
+	if *varySeed || groups <= 0 || groups > *n {
+		groups = *n
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), *wait)
 	defer cancel()
 
+	cc, err := client.NewClusterClient(endpoints, client.DefaultBackoff())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replload: %v\n", err)
+		os.Exit(2)
+	}
 	lg := &loadgen{
-		c:        client.New(*addr),
-		poll:     *poll,
-		varySeed: *varySeed,
-		results:  make([]outcome, *n),
-		work:     make(chan int),
+		cc:      cc,
+		poll:    *poll,
+		groups:  groups,
+		results: make([]outcome, *n),
+		work:    make(chan int),
 		spec: serve.JobSpec{
 			Circuit:   *circuit,
 			Scale:     *scale,
@@ -61,8 +92,14 @@ func main() {
 		},
 	}
 
-	if _, err := lg.c.Health(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "replload: cannot reach %s: %v\n", *addr, err)
+	reachable := 0
+	for _, ep := range endpoints {
+		if _, herr := client.New(ep).Health(ctx); herr == nil {
+			reachable++
+		}
+	}
+	if reachable == 0 {
+		fmt.Fprintf(os.Stderr, "replload: no reachable endpoint among %v\n", endpoints)
 		os.Exit(2)
 	}
 
@@ -84,18 +121,26 @@ func main() {
 	}
 	wall := time.Since(start)
 
-	ok := report(lg.results, wall, !*varySeed)
-	if !ok {
+	if !report(lg.results, wall) {
 		os.Exit(1)
 	}
 }
 
 // outcome records one job's fate from the client's point of view.
 type outcome struct {
-	state      serve.State
-	latency    time.Duration // submit-accepted → terminal
-	rejections int           // 429s absorbed before acceptance
-	err        string
+	state   serve.State
+	latency time.Duration // submit call → terminal status
+	err     string
+	// seed is the job's placement seed — its duplicate-group key.
+	seed int64
+	// node and source are the cluster's routing/dedup telemetry:
+	// which member executed and whether the job was executed fresh,
+	// coalesced onto an in-flight duplicate, or served from the
+	// result cache. Empty against a single-process daemon.
+	node   string
+	source string
+	// endpoint is the base URL that accepted the submission.
+	endpoint string
 	// periodBits is the optimized period's bit pattern, for the exact
 	// determinism cross-check.
 	periodBits uint64
@@ -105,12 +150,12 @@ type outcome struct {
 // loadgen drives the job stream. Workers claim indices from work and
 // write only results[idx] — disjoint slots, no lock needed.
 type loadgen struct {
-	c        *client.Client
-	spec     serve.JobSpec
-	poll     time.Duration
-	varySeed bool
-	work     chan int
-	results  []outcome
+	cc      *client.ClusterClient
+	spec    serve.JobSpec
+	poll    time.Duration
+	groups  int
+	work    chan int
+	results []outcome
 }
 
 func (lg *loadgen) worker(ctx context.Context, done chan<- struct{}) {
@@ -120,52 +165,27 @@ func (lg *loadgen) worker(ctx context.Context, done chan<- struct{}) {
 	done <- struct{}{}
 }
 
-// runJob submits one job (retrying queue rejections with backoff,
-// counting them) and waits for its terminal state.
+// runJob submits one job (the cluster client absorbs 429s with
+// backoff and rotates endpoints) and waits for its terminal state.
 func (lg *loadgen) runJob(ctx context.Context, idx int) outcome {
 	spec := lg.spec
-	if lg.varySeed {
-		spec.Seed = int64(idx + 1)
-	}
-	var out outcome
-	backoff := 50 * time.Millisecond
-	var st serve.Status
-	for {
-		var err error
-		st, err = lg.c.Submit(ctx, spec)
-		if err == nil {
-			break
-		}
-		if errors.Is(err, client.ErrQueueFull) {
-			// Backpressure is the server doing its job; absorb it and
-			// count it.
-			out.rejections++
-			select {
-			case <-ctx.Done():
-				out.state = serve.StateFailed
-				out.err = "deadline while backing off from 429"
-				return out
-			case <-time.After(backoff):
-			}
-			if backoff < time.Second {
-				backoff *= 2
-			}
-			continue
-		}
-		out.state = serve.StateFailed
-		out.err = "submit: " + err.Error()
-		return out
-	}
+	spec.Seed = int64(idx%lg.groups) + 1
+	out := outcome{seed: spec.Seed}
 	t0 := time.Now()
-	fin, err := lg.c.Wait(ctx, st.ID, lg.poll)
+	fin, ep, err := lg.cc.Run(ctx, spec, lg.poll)
 	out.latency = time.Since(t0)
+	if ep != nil {
+		out.endpoint = ep.BaseURL
+	}
 	if err != nil {
 		out.state = serve.StateFailed
-		out.err = "wait: " + err.Error()
+		out.err = err.Error()
 		return out
 	}
 	out.state = fin.State
 	out.err = fin.Error
+	out.node = fin.Node
+	out.source = fin.Source
 	if fin.Result != nil {
 		out.periodBits = math.Float64bits(fin.Result.OptimizedPeriod)
 		out.iterations = fin.Result.Iterations
@@ -175,72 +195,130 @@ func (lg *loadgen) runJob(ctx context.Context, idx int) outcome {
 
 // report prints the summary and returns false on failures or broken
 // determinism.
-func report(results []outcome, wall time.Duration, checkDeterminism bool) bool {
-	var completed, failed, cancelled, rejections int
+func report(results []outcome, wall time.Duration) bool {
+	var completed, failed, cancelled int
 	var lats []float64
+	byNode := make(map[string][]float64)
+	bySource := make(map[string]int)
 	for i := range results {
 		r := &results[i]
-		rejections += r.rejections
 		switch r.state {
 		case serve.StateDone:
 			completed++
 			lats = append(lats, r.latency.Seconds())
+			node := r.node
+			if node == "" {
+				node = r.endpoint
+			}
+			byNode[node] = append(byNode[node], r.latency.Seconds())
+			if r.source != "" {
+				bySource[r.source]++
+			}
 		case serve.StateCancelled:
 			cancelled++
 		default:
 			failed++
 		}
 	}
-	fmt.Printf("jobs: %d total, %d completed, %d cancelled, %d failed; %d queue rejections absorbed\n",
-		len(results), completed, cancelled, failed, rejections)
+	fmt.Printf("jobs: %d total, %d completed, %d cancelled, %d failed\n",
+		len(results), completed, cancelled, failed)
 	fmt.Printf("wall: %.2fs, throughput %.2f jobs/s\n",
 		wall.Seconds(), float64(completed)/wall.Seconds())
 	if len(lats) > 0 {
 		sort.Float64s(lats)
-		mean := 0.0
-		for _, l := range lats {
-			mean += l
+		fmt.Printf("latency: %s\n", latLine(lats))
+	}
+	// Per-node percentiles: sorted node names for a stable report.
+	if len(byNode) > 1 || (len(byNode) == 1 && anyNode(byNode) != "") {
+		nodes := make([]string, 0, len(byNode))
+		for node := range byNode {
+			nodes = append(nodes, node)
 		}
-		mean /= float64(len(lats))
-		fmt.Printf("latency: mean %.0fms  p50 %.0fms  p90 %.0fms  p99 %.0fms  max %.0fms\n",
-			mean*1e3, pctl(lats, 50)*1e3, pctl(lats, 90)*1e3, pctl(lats, 99)*1e3,
-			lats[len(lats)-1]*1e3)
+		sort.Strings(nodes)
+		for _, node := range nodes {
+			ls := byNode[node]
+			sort.Float64s(ls)
+			name := node
+			if name == "" {
+				name = "(unknown)"
+			}
+			fmt.Printf("  node %-12s %3d jobs  %s\n", name, len(ls), latLine(ls))
+		}
+	}
+	// Cache effectiveness: only meaningful against a cluster (sources
+	// are set by the cluster layer).
+	if len(bySource) > 0 {
+		hits := bySource["cache"] + bySource["coalesced"]
+		fmt.Printf("dedup: %d executed, %d coalesced, %d cache hits — hit rate %.0f%%\n",
+			bySource["executed"]+bySource["forwarded"], bySource["coalesced"], bySource["cache"],
+			100*float64(hits)/float64(completed))
 	}
 	for i := range results {
 		if results[i].state == serve.StateFailed {
-			fmt.Printf("  FAILED job %d: %s\n", i, results[i].err)
+			fmt.Printf("  FAILED job %d (seed %d): %s\n", i, results[i].seed, results[i].err)
 		}
 	}
 	ok := failed == 0
-	if checkDeterminism && completed > 1 {
-		// All jobs ran the identical spec: every completed one must
-		// report the bit-identical optimized period and iteration
-		// count, or the engine's determinism contract broke somewhere
-		// between the queue and the wavefront.
-		var refBits uint64
-		refIters, have := 0, false
-		mismatches := 0
-		for i := range results {
-			r := &results[i]
-			if r.state != serve.StateDone {
-				continue
-			}
-			if !have {
-				refBits, refIters, have = r.periodBits, r.iterations, true
-				continue
-			}
-			if r.periodBits != refBits || r.iterations != refIters {
-				mismatches++
-			}
+	// Determinism cross-check per duplicate group: every completed job
+	// with the same seed ran the identical spec, so each must report
+	// the bit-identical optimized period and iteration count — whether
+	// it executed, coalesced, or came from the cache on any node.
+	type ref struct {
+		bits  uint64
+		iters int
+		have  bool
+	}
+	refs := make(map[int64]*ref)
+	mismatches, checked := 0, 0
+	for i := range results {
+		r := &results[i]
+		if r.state != serve.StateDone {
+			continue
 		}
-		if mismatches > 0 {
-			fmt.Printf("DETERMINISM VIOLATION: %d job(s) disagree with the reference result\n", mismatches)
-			ok = false
-		} else {
-			fmt.Printf("determinism: %d identical jobs, bit-identical results\n", completed)
+		g := refs[r.seed]
+		if g == nil {
+			g = &ref{}
+			refs[r.seed] = g
+		}
+		if !g.have {
+			g.bits, g.iters, g.have = r.periodBits, r.iterations, true
+			continue
+		}
+		checked++
+		if r.periodBits != g.bits || r.iterations != g.iters {
+			mismatches++
+			fmt.Printf("  MISMATCH job %d (seed %d): period bits %x vs %x\n",
+				i, r.seed, r.periodBits, g.bits)
 		}
 	}
+	if mismatches > 0 {
+		fmt.Printf("DETERMINISM VIOLATION: %d job(s) disagree with their duplicate group\n", mismatches)
+		ok = false
+	} else if checked > 0 {
+		fmt.Printf("determinism: %d duplicate jobs across %d groups, bit-identical results\n",
+			checked, len(refs))
+	}
 	return ok
+}
+
+// latLine formats the standard percentile line for sorted seconds.
+func latLine(sorted []float64) string {
+	mean := 0.0
+	for _, l := range sorted {
+		mean += l
+	}
+	mean /= float64(len(sorted))
+	return fmt.Sprintf("mean %.0fms  p50 %.0fms  p90 %.0fms  p99 %.0fms  max %.0fms",
+		mean*1e3, pctl(sorted, 50)*1e3, pctl(sorted, 90)*1e3, pctl(sorted, 99)*1e3,
+		sorted[len(sorted)-1]*1e3)
+}
+
+// anyNode returns the single map key (helper for the one-node case).
+func anyNode(m map[string][]float64) string {
+	for k := range m {
+		return k
+	}
+	return ""
 }
 
 // pctl returns the p-th percentile (nearest-rank) of sorted values.

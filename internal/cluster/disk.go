@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// DiskStore is the durable Store: an append-only log of
+// length-prefixed JSON records under an in-memory index. Every applied
+// Put appends one entry; OpenDiskStore replays the log, so a node
+// restart recovers every result it had replicated. The log is
+// compaction-free by design — records are tiny next to the work they
+// memoize, and replay applies the same last-writer-wins the live path
+// does, so duplicates and superseded versions fall out naturally.
+//
+// A torn tail (crash mid-append) is detected by the length prefix and
+// truncated away on open; everything before it is intact because
+// entries are only ever appended.
+type DiskStore struct {
+	idx *MemStore
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// entryHeader is the fixed length prefix: a 4-byte big-endian payload
+// size. Payloads are single JSON records.
+const entryHeaderLen = 4
+
+// maxEntryLen bounds one log entry (a record holding a result JSON);
+// anything larger is treated as corruption rather than allocated.
+const maxEntryLen = 64 << 20
+
+// OpenDiskStore opens (creating if needed) the log at path and replays
+// it into the index.
+func OpenDiskStore(path string) (*DiskStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open store: %w", err)
+	}
+	idx := NewMemStore()
+	// Replay runs on the bare file before the store is published, so
+	// no lock discipline applies yet.
+	if err := replayLog(f, idx); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &DiskStore{idx: idx, f: f}, nil
+}
+
+// replayLog scans the log from the start, applying every intact entry
+// to idx and truncating at the first torn or corrupt one.
+func replayLog(f *os.File, idx *MemStore) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("cluster: replay: %w", err)
+	}
+	var off int64
+	hdr := make([]byte, entryHeaderLen)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			// Clean EOF ends the replay; a partial header is a torn
+			// append to truncate.
+			break
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		if n == 0 || n > maxEntryLen {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		idx.mu.Lock()
+		idx.applyLocked(rec)
+		idx.mu.Unlock()
+		off += int64(entryHeaderLen) + int64(n)
+	}
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("cluster: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("cluster: replay: %w", err)
+	}
+	return nil
+}
+
+// Put applies rec to the index and, if applied, appends it to the log.
+func (s *DiskStore) Put(rec Record) (bool, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return false, fmt.Errorf("cluster: encode record: %w", err)
+	}
+	// Serialize append order with apply order under one lock, so the
+	// log replays to exactly the index it shadowed.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.mu.Lock()
+	applied := s.idx.applyLocked(rec)
+	s.idx.mu.Unlock()
+	if !applied {
+		return false, nil
+	}
+	buf := make([]byte, entryHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[entryHeaderLen:], payload)
+	if _, err := s.f.Write(buf); err != nil {
+		return true, fmt.Errorf("cluster: append record: %w", err)
+	}
+	return true, nil
+}
+
+// Get returns the resident record for h.
+func (s *DiskStore) Get(h Hash) (Record, bool, error) { return s.idx.Get(h) }
+
+// Len reports the resident record count.
+func (s *DiskStore) Len() int { return s.idx.Len() }
+
+// Hashes returns the resident hashes in sorted order.
+func (s *DiskStore) Hashes() []Hash { return s.idx.Hashes() }
+
+// Close syncs and closes the log.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

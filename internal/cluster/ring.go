@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member. 64 points per
+// node keeps the expected load imbalance across a handful of nodes in
+// the few-percent range while the ring stays a few KB.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over a static membership. Each node
+// contributes VNodes points (SHA-256 of "id#i"), and a key's owners
+// are the first N distinct nodes clockwise from the key's point. The
+// same construction routes jobs (owner = first node) and places result
+// replicas (owners = first N), so a key's executor is always also a
+// replica holder — local reads on the owner are the common case.
+//
+// A Ring is immutable after construction: membership changes build a
+// new ring. Consistent hashing bounds the churn — removing one of M
+// nodes remaps only ~1/M of the key space.
+type Ring struct {
+	nodes  []string // sorted member IDs
+	points []ringPoint
+}
+
+type ringPoint struct {
+	h    uint64
+	node int32 // index into nodes
+}
+
+// NewRing builds a ring over the given member IDs with vnodes points
+// per member (<= 0 selects DefaultVNodes). IDs must be non-empty and
+// unique.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, id := range sorted {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if i > 0 && sorted[i-1] == id {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", id)
+		}
+	}
+	r := &Ring{
+		nodes:  sorted,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for ni, id := range sorted {
+		for v := 0; v < vnodes; v++ {
+			s := sha256.Sum256([]byte(id + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{
+				h:    binary.BigEndian.Uint64(s[:8]),
+				node: int32(ni),
+			})
+		}
+	}
+	// Ties (astronomically unlikely) break toward the lower node
+	// index, so the ring is a pure function of the membership.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the sorted member IDs.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Owners returns the first n distinct nodes clockwise from the key's
+// ring point, in ring order: Owners(h, 1)[0] is the key's owner,
+// Owners(h, N) its replica set. n is clamped to the member count.
+func (r *Ring) Owners(h Hash, n int) []string {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 {
+		return nil
+	}
+	key := binary.BigEndian.Uint64(h[:8])
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= key })
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, r.nodes[p.node])
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// testHash derives a distinct Hash from i, spread uniformly over the
+// key space the way real spec hashes are.
+func testHash(i int) Hash {
+	return sha256.Sum256([]byte("key-" + strconv.Itoa(i)))
+}
+
+func TestRingValidation(t *testing.T) {
+	for _, nodes := range [][]string{nil, {}, {""}, {"a", "a"}, {"a", "b", "a"}} {
+		if _, err := NewRing(nodes, 8); err == nil {
+			t.Errorf("NewRing(%q): expected error", nodes)
+		}
+	}
+	if _, err := NewRing([]string{"solo"}, 0); err != nil {
+		t.Errorf("single-node ring with default vnodes: %v", err)
+	}
+}
+
+// TestRingDeterminism: the ring is a pure function of the membership —
+// construction order, repeated construction, and Owners calls must all
+// agree.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		h := testHash(i)
+		oa, ob := a.Owners(h, 3), b.Owners(h, 3)
+		if fmt.Sprint(oa) != fmt.Sprint(ob) {
+			t.Fatalf("key %d: owner sets differ across construction order: %v vs %v", i, oa, ob)
+		}
+		if fmt.Sprint(a.Owners(h, 3)) != fmt.Sprint(oa) {
+			t.Fatalf("key %d: Owners not stable across calls", i)
+		}
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3", "n4", "n5"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		h := testHash(i)
+		owners := r.Owners(h, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %d: got %d owners, want 3", i, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %d: duplicate owner %q in %v", i, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	// n clamped to the membership; n<=0 yields nothing.
+	if got := r.Owners(testHash(0), 99); len(got) != 5 {
+		t.Errorf("Owners(h, 99) = %d nodes, want all 5", len(got))
+	}
+	if got := r.Owners(testHash(0), 0); got != nil {
+		t.Errorf("Owners(h, 0) = %v, want nil", got)
+	}
+}
+
+// TestRingBalance: with vnodes, primary ownership should spread across
+// members — no node owns a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r, err := NewRing(nodes, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(testHash(i), 1)[0]]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/3 || c > fair*3 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d): imbalance beyond 3x", n, c, keys, fair)
+		}
+	}
+}
+
+// TestRingStability pins the consistent-hashing property: removing one
+// member must not move keys between the surviving members. Every key
+// either keeps its owner or (if the dead node owned it) moves to a
+// survivor.
+func TestRingStability(t *testing.T) {
+	full, err := NewRing([]string{"n1", "n2", "n3", "n4", "n5"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"n1", "n2", "n4", "n5"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		h := testHash(i)
+		before := full.Owners(h, 1)[0]
+		after := reduced.Owners(h, 1)[0]
+		if before == "n3" {
+			moved++
+			continue // had to move; any survivor is fine
+		}
+		if before != after {
+			t.Fatalf("key %d moved %s → %s though its owner survived", i, before, after)
+		}
+	}
+	// Roughly 1/5 of keys lived on n3 and had to move.
+	if moved < keys/10 || moved > keys/2 {
+		t.Errorf("%d of %d keys moved; expected roughly %d", moved, keys, keys/5)
+	}
+}
+
+// TestRingReplicaSetNesting: the n-owner list is a prefix-extension of
+// the (n-1)-owner list, so growing N only adds replicas.
+func TestRingReplicaSetNesting(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h := testHash(i)
+		three := r.Owners(h, 3)
+		for k := 1; k < 3; k++ {
+			sub := r.Owners(h, k)
+			for j := range sub {
+				if sub[j] != three[j] {
+					t.Fatalf("key %d: Owners(%d)=%v not a prefix of Owners(3)=%v", i, k, sub, three)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// PeerClient talks to one other cluster member: the public job surface
+// through the embedded serve client, plus the internode endpoints
+// (/v1/cluster/submit, /v1/cluster/replicate, /v1/cluster/fetch). It
+// doubles as the Replica implementation for remote members.
+type PeerClient struct {
+	// Client serves GET /v1/jobs/... proxy reads and carries BaseURL.
+	*client.Client
+	NodeID string
+}
+
+// NewPeerClient builds a client for the member id at baseURL.
+func NewPeerClient(id, baseURL string) *PeerClient {
+	c := client.New(baseURL)
+	// Internode hops are LAN-fast; a tight timeout keeps a dead peer
+	// from stalling forwards and quorum ops behind TCP timeouts.
+	c.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	return &PeerClient{Client: c, NodeID: id}
+}
+
+// ID returns the member ID (Replica interface).
+func (p *PeerClient) ID() string { return p.NodeID }
+
+// SubmitNoForward submits a spec to the peer's internode endpoint,
+// which executes as owner without re-forwarding — the forwarding hop
+// happens at most once, so misrouted submissions cannot loop.
+func (p *PeerClient) SubmitNoForward(ctx context.Context, spec serve.JobSpec) (serve.Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return serve.Status{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		p.BaseURL+"/v1/cluster/submit", bytes.NewReader(body))
+	if err != nil {
+		return serve.Status{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.Client.HTTPClient.Do(req)
+	if err != nil {
+		return serve.Status{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var st serve.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return serve.Status{}, fmt.Errorf("cluster: decode forwarded status: %w", err)
+		}
+		return st, nil
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return serve.Status{}, client.ErrQueueFull
+	case http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return serve.Status{}, client.ErrDraining
+	default:
+		msg := readError(resp.Body)
+		return serve.Status{}, fmt.Errorf("cluster: forward to %s: %s: %s", p.NodeID, resp.Status, msg)
+	}
+}
+
+// Store replicates rec to the peer (Replica interface).
+func (p *PeerClient) Store(ctx context.Context, rec Record) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		p.BaseURL+"/v1/cluster/replicate", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.Client.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: replicate to %s: %s: %s", p.NodeID, resp.Status, readError(resp.Body))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Fetch reads the peer's local record for h (Replica interface).
+func (p *PeerClient) Fetch(ctx context.Context, h Hash) (Record, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		p.BaseURL+"/v1/cluster/fetch?hash="+h.String(), nil)
+	if err != nil {
+		return Record{}, false, err
+	}
+	resp, err := p.Client.HTTPClient.Do(req)
+	if err != nil {
+		return Record{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rec Record
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			return Record{}, false, fmt.Errorf("cluster: decode record from %s: %w", p.NodeID, err)
+		}
+		return rec, true, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return Record{}, false, nil
+	default:
+		return Record{}, false, fmt.Errorf("cluster: fetch from %s: %s: %s", p.NodeID, resp.Status, readError(resp.Body))
+	}
+}
+
+// readError extracts the {"error": ...} body, if any.
+func readError(r io.Reader) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(r).Decode(&e)
+	return e.Error
+}

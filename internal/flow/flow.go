@@ -124,6 +124,19 @@ func ParseAlgorithm(s string) (Algorithm, bool) {
 	return 0, false
 }
 
+// CanonicalName returns the canonical -algo spelling for a — the one
+// ParseAlgorithm maps back to itself. The cluster layer's spec
+// canonicalization keys on it, so aliases and case variants of the
+// same algorithm hash identically.
+func CanonicalName(a Algorithm) string {
+	for _, e := range algoNames {
+		if e.algo == a {
+			return e.name
+		}
+	}
+	return ""
+}
+
 // AlgorithmNames returns the accepted algorithm names in canonical
 // order, for usage and error messages.
 func AlgorithmNames() []string {

@@ -17,10 +17,13 @@ import (
 )
 
 // Rejection errors. ErrQueueFull corresponds to HTTP 429 (backpressure
-// — retry later); ErrDraining to 503 (the daemon is shutting down).
+// — retry later); ErrDraining to 503 (the daemon is shutting down);
+// ErrNotFound to 404 (lets the cluster client tell a missing job from
+// an unreachable node).
 var (
 	ErrQueueFull = errors.New("client: queue full (429)")
 	ErrDraining  = errors.New("client: server draining (503)")
+	ErrNotFound  = errors.New("client: no such job (404)")
 )
 
 // Client talks to one repld daemon.
@@ -29,6 +32,10 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to a client with a 30s request timeout.
 	HTTPClient *http.Client
+	// Retry, when set, absorbs 429 rejections on Submit with bounded
+	// exponential backoff instead of surfacing ErrQueueFull on the
+	// first hit. Nil disables retrying (the pre-cluster behavior).
+	Retry *Backoff
 }
 
 // New returns a client for the daemon at baseURL.
@@ -40,8 +47,24 @@ func New(baseURL string) *Client {
 }
 
 // Submit enqueues a job and returns its initial status. A full queue
-// fails with ErrQueueFull, a draining daemon with ErrDraining.
+// fails with ErrQueueFull — after the Retry schedule is exhausted, if
+// one is configured — and a draining daemon with ErrDraining.
 func (c *Client) Submit(ctx context.Context, spec serve.JobSpec) (serve.Status, error) {
+	st, err := c.submitOnce(ctx, spec)
+	if c.Retry == nil {
+		return st, err
+	}
+	for k := 0; errors.Is(err, ErrQueueFull) && k < c.Retry.MaxRetries(); k++ {
+		if serr := c.Retry.Sleep(ctx, k); serr != nil {
+			return st, err
+		}
+		st, err = c.submitOnce(ctx, spec)
+	}
+	return st, err
+}
+
+// submitOnce is a single submission attempt.
+func (c *Client) submitOnce(ctx context.Context, spec serve.JobSpec) (serve.Status, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return serve.Status{}, err
@@ -148,6 +171,9 @@ func (c *Client) do(req *http.Request, want int) (serve.Status, error) {
 	case http.StatusServiceUnavailable:
 		io.Copy(io.Discard, resp.Body)
 		return serve.Status{}, ErrDraining
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return serve.Status{}, ErrNotFound
 	default:
 		var e struct {
 			Error string `json:"error"`

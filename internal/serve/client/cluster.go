@@ -1,0 +1,166 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ClusterClient fans the single-daemon client across the endpoints of
+// a repld cluster. Every member serves the full public surface —
+// submissions are routed to their ring owner server-side and
+// cross-node job IDs resolve via 307 redirects that the underlying
+// HTTP client follows — so the cluster client's job is availability,
+// not topology: rotate away from unreachable endpoints, absorb 429
+// backpressure with the shared Backoff schedule, and stick status
+// polls to the endpoint that accepted the job.
+type ClusterClient struct {
+	clients []*Client
+	retry   *Backoff
+	next    atomic.Uint64
+}
+
+// NewClusterClient builds a client over the given base URLs. retry
+// nil selects DefaultBackoff.
+func NewClusterClient(urls []string, retry *Backoff) (*ClusterClient, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("client: cluster needs at least one endpoint")
+	}
+	if retry == nil {
+		retry = DefaultBackoff()
+	}
+	cc := &ClusterClient{retry: retry}
+	for _, u := range urls {
+		// Per-endpoint clients carry no Retry of their own: the
+		// cluster client owns the schedule so a backoff round rotates
+		// endpoints instead of hammering one.
+		cc.clients = append(cc.clients, New(u))
+	}
+	return cc, nil
+}
+
+// Endpoints returns the configured base URLs.
+func (cc *ClusterClient) Endpoints() []string {
+	out := make([]string, len(cc.clients))
+	for i, c := range cc.clients {
+		out[i] = c.BaseURL
+	}
+	return out
+}
+
+// Submit tries each endpoint starting from a rotating cursor. An
+// unreachable or draining endpoint rotates immediately; a full round
+// of 429s sleeps one backoff step before the next round. The endpoint
+// that accepted is returned for poll affinity.
+func (cc *ClusterClient) Submit(ctx context.Context, spec serve.JobSpec) (serve.Status, *Client, error) {
+	var lastErr error
+	for round := 0; ; round++ {
+		start := cc.next.Add(1) - 1
+		sawQueueFull := false
+		for i := 0; i < len(cc.clients); i++ {
+			c := cc.clients[(start+uint64(i))%uint64(len(cc.clients))]
+			st, err := c.submitOnce(ctx, spec)
+			switch {
+			case err == nil:
+				return st, c, nil
+			case errors.Is(err, ErrQueueFull):
+				sawQueueFull = true
+				lastErr = err
+			case errors.Is(err, ErrDraining):
+				lastErr = err
+			default:
+				lastErr = err
+			}
+		}
+		if !sawQueueFull || round >= cc.retry.MaxRetries() {
+			return serve.Status{}, nil, fmt.Errorf("client: all %d endpoints failed: %w",
+				len(cc.clients), lastErr)
+		}
+		if serr := cc.retry.Sleep(ctx, round); serr != nil {
+			return serve.Status{}, nil, fmt.Errorf("client: %w while backing off from 429", serr)
+		}
+	}
+}
+
+// Get fetches a job status, preferring the affinity endpoint and
+// failing over to the rest on transport errors. A 404 is answered
+// authoritatively by any endpoint (the ID's owner is encoded in it),
+// so it does not fail over.
+func (cc *ClusterClient) Get(ctx context.Context, affinity *Client, id string) (serve.Status, error) {
+	var lastErr error
+	for _, c := range cc.ordered(affinity) {
+		st, err := c.Get(ctx, id)
+		if err == nil || errors.Is(err, ErrNotFound) {
+			return st, err
+		}
+		lastErr = err
+	}
+	return serve.Status{}, lastErr
+}
+
+// Wait polls until the job reaches a terminal state or ctx is done,
+// failing over between endpoints on transport errors.
+func (cc *ClusterClient) Wait(ctx context.Context, affinity *Client, id string, poll time.Duration) (serve.Status, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := cc.Get(ctx, affinity, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Run submits a job and waits for its terminal status, returning the
+// endpoint that accepted it.
+func (cc *ClusterClient) Run(ctx context.Context, spec serve.JobSpec, poll time.Duration) (serve.Status, *Client, error) {
+	st, c, err := cc.Submit(ctx, spec)
+	if err != nil {
+		return st, c, err
+	}
+	if st.State.Terminal() {
+		// Cache hits come back terminal on the submit response; no
+		// polling needed.
+		return st, c, nil
+	}
+	fin, err := cc.Wait(ctx, c, st.ID, poll)
+	// How the submission was satisfied (executed vs coalesced) is only
+	// on the submit response; carry it onto the terminal status.
+	if fin.Source == "" {
+		fin.Source = st.Source
+	}
+	if fin.SpecHash == "" {
+		fin.SpecHash = st.SpecHash
+	}
+	return fin, c, err
+}
+
+// ordered returns the clients with the affinity endpoint first.
+func (cc *ClusterClient) ordered(affinity *Client) []*Client {
+	if affinity == nil {
+		return cc.clients
+	}
+	out := make([]*Client, 0, len(cc.clients))
+	out = append(out, affinity)
+	for _, c := range cc.clients {
+		if c != affinity {
+			out = append(out, c)
+		}
+	}
+	return out
+}

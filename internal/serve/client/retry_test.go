@@ -1,0 +1,234 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestBackoffDelayNoJitter pins the exact exponential schedule.
+func TestBackoffDelayNoJitter(t *testing.T) {
+	b := &Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Mult: 2, NoJitter: true}
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for k, w := range want {
+		if got := b.Delay(k); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+// TestBackoffDelayJitterBounds: jittered delays stay inside the
+// ±Jitter envelope of the exact schedule, never negative.
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Mult: 2, Jitter: 0.2, Seed: 7}
+	exact := &Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Mult: 2, NoJitter: true}
+	for k := 0; k < 12; k++ {
+		e := float64(exact.Delay(k))
+		for rep := 0; rep < 20; rep++ {
+			d := float64(b.Delay(k))
+			if d < 0.8*e-1 || d > 1.2*e+1 {
+				t.Fatalf("Delay(%d) = %v outside ±20%% of %v", k, time.Duration(d), time.Duration(e))
+			}
+		}
+	}
+}
+
+// TestBackoffSeededReplay: a fixed seed replays an identical schedule,
+// and different seeds diverge — the jitter is real but reproducible.
+func TestBackoffSeededReplay(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		b := &Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Seed: seed}
+		out := make([]time.Duration, 8)
+		for k := range out {
+			out[k] = b.Delay(k)
+		}
+		return out
+	}
+	a, b2 := mk(42), mk(42)
+	for k := range a {
+		if a[k] != b2[k] {
+			t.Fatalf("seed 42 replay diverged at k=%d: %v vs %v", k, a[k], b2[k])
+		}
+	}
+	c := mk(43)
+	same := true
+	for k := range a {
+		if a[k] != c[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := DefaultBackoff()
+	if got := b.MaxRetries(); got != 8 {
+		t.Errorf("MaxRetries = %d, want 8", got)
+	}
+	if d := b.Delay(0); d < 40*time.Millisecond || d > 60*time.Millisecond {
+		t.Errorf("Delay(0) = %v, want 50ms ± 20%%", d)
+	}
+	if d := b.Delay(100); d > time.Duration(1.2*float64(2*time.Second)) {
+		t.Errorf("Delay(100) = %v, exceeds jittered cap", d)
+	}
+}
+
+// fakeSleeper records requested delays instead of sleeping. Safe for
+// concurrent observation via count().
+type fakeSleeper struct {
+	mu     sync.Mutex
+	delays []time.Duration
+	// failAt, when >= 0, returns ctx.Err-style cancellation on the
+	// n-th sleep.
+	failAt int
+}
+
+func (f *fakeSleeper) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failAt >= 0 && len(f.delays) == f.failAt {
+		return context.Canceled
+	}
+	f.delays = append(f.delays, d)
+	return nil
+}
+
+func (f *fakeSleeper) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.delays)
+}
+
+func (f *fakeSleeper) at(i int) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delays[i]
+}
+
+// TestBackoffSleepFakeClock: Sleep consults Delay and the sleep seam —
+// no real time passes under the fake clock.
+func TestBackoffSleepFakeClock(t *testing.T) {
+	fs := &fakeSleeper{failAt: -1}
+	b := &Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second, NoJitter: true, sleep: fs.sleep}
+	start := time.Now()
+	for k := 0; k < 5; k++ {
+		if err := b.Sleep(context.Background(), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("fake clock slept for real: %v", elapsed)
+	}
+	want := []time.Duration{50, 100, 200, 400, 800}
+	for k, w := range want {
+		if fs.at(k) != w*time.Millisecond {
+			t.Errorf("sleep %d = %v, want %v", k, fs.at(k), w*time.Millisecond)
+		}
+	}
+}
+
+// TestBackoffSleepCancelled: a dead context surfaces from Sleep.
+func TestBackoffSleepCancelled(t *testing.T) {
+	b := &Backoff{Base: time.Hour, NoJitter: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.Sleep(ctx, 0); err == nil {
+		t.Fatal("Sleep with dead context returned nil")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep blocked despite dead context")
+	}
+}
+
+// flakyServer 429s the first rejectN submissions, then accepts.
+func flakyServer(t *testing.T, rejectN int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			if calls.Add(1) <= int64(rejectN) {
+				w.WriteHeader(http.StatusTooManyRequests)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(serve.Status{ID: "j000001", State: serve.StateQueued})
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// TestSubmitRetriesQueueFull: with Retry configured, Submit absorbs
+// 429s under the schedule (fake clock) and succeeds.
+func TestSubmitRetriesQueueFull(t *testing.T) {
+	srv, calls := flakyServer(t, 3)
+	fs := &fakeSleeper{failAt: -1}
+	c := New(srv.URL)
+	c.Retry = &Backoff{Base: 10 * time.Millisecond, NoJitter: true, Retries: 5, sleep: fs.sleep}
+	st, err := c.Submit(context.Background(), serve.JobSpec{Circuit: "ex5p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j000001" {
+		t.Errorf("status %+v", st)
+	}
+	if calls.Load() != 4 {
+		t.Errorf("%d attempts, want 4 (3 rejections + 1 success)", calls.Load())
+	}
+	if fs.count() != 3 {
+		t.Errorf("%d backoff sleeps, want 3", fs.count())
+	}
+}
+
+// TestSubmitRetriesExhausted: a persistently full queue surfaces
+// ErrQueueFull after the retry budget.
+func TestSubmitRetriesExhausted(t *testing.T) {
+	srv, calls := flakyServer(t, 1000)
+	fs := &fakeSleeper{failAt: -1}
+	c := New(srv.URL)
+	c.Retry = &Backoff{Base: time.Millisecond, NoJitter: true, Retries: 3, sleep: fs.sleep}
+	_, err := c.Submit(context.Background(), serve.JobSpec{Circuit: "ex5p"})
+	if err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if calls.Load() != 4 {
+		t.Errorf("%d attempts, want 4 (initial + 3 retries)", calls.Load())
+	}
+}
+
+// TestSubmitNoRetryWithoutBackoff: nil Retry preserves the pre-cluster
+// fail-fast behavior.
+func TestSubmitNoRetryWithoutBackoff(t *testing.T) {
+	srv, calls := flakyServer(t, 1000)
+	c := New(srv.URL)
+	if _, err := c.Submit(context.Background(), serve.JobSpec{Circuit: "ex5p"}); err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("%d attempts, want 1", calls.Load())
+	}
+}

@@ -53,6 +53,35 @@ type JobSpec struct {
 // parser's line-buffer cap) so a single request cannot exhaust memory.
 const maxInlineNetlist = 16 << 20
 
+// Normalized returns the spec with every semantic default applied:
+// the canonical algorithm spelling, seed 1, the service effort and
+// scale defaults, and — for inline-netlist jobs — the circuit/scale
+// fields cleared (they are ignored on that path). Two valid specs that
+// normalize equal produce bit-identical results, which is what the
+// cluster layer's content hash keys on; ExecuteJob resolves its
+// defaults through here so the two can never drift. Parallelism and
+// TimeoutMS are left untouched: they change how fast a job runs, not
+// what it computes.
+func (s JobSpec) Normalized() JobSpec {
+	n := s
+	if a, ok := flow.ParseAlgorithm(n.Algo); ok {
+		n.Algo = flow.CanonicalName(a)
+	}
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	if n.Effort == 0 {
+		n.Effort = defaultEffort
+	}
+	if n.Netlist != "" {
+		n.Circuit = ""
+		n.Scale = 0
+	} else if n.Scale == 0 {
+		n.Scale = defaultScale
+	}
+	return n
+}
+
 // DecodeSpec parses one job spec from r, rejecting unknown fields. It
 // does not validate — submission does that — but any input, however
 // hostile, must come back as an error, never a panic; the fuzz harness
@@ -165,6 +194,15 @@ type Status struct {
 	Error string  `json:"error,omitempty"`
 	// Position is the number of jobs ahead in the queue (queued only).
 	Position int `json:"position,omitempty"`
+
+	// SpecHash, Source, and Node are set by the cluster layer
+	// (internal/cluster): the job's content address, how this status
+	// was satisfied ("executed", "coalesced", "cache", or
+	// "forwarded"), and the node that executed it. Empty on a
+	// single-process repld.
+	SpecHash string `json:"spec_hash,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Node     string `json:"node,omitempty"`
 
 	//replint:metadata -- queue timestamps are job metadata, not solver output
 	SubmittedAt time.Time `json:"submitted_at"`

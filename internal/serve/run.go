@@ -32,6 +32,10 @@ const defaultEffort = 2.0
 // placer is seed-driven and the engine's parallel paths are
 // bit-identical to serial.
 func ExecuteJob(ctx context.Context, spec JobSpec) (*Result, error) {
+	// Normalized() applies every semantic default exactly once; the
+	// cluster layer hashes the same normal form, so two specs with
+	// equal hashes run identical flows here.
+	spec = spec.Normalized()
 	algo, ok := flow.ParseAlgorithm(spec.Algo)
 	if !ok {
 		return nil, fmt.Errorf("unknown algorithm %q", spec.Algo)
@@ -55,13 +59,7 @@ func ExecuteJob(ctx context.Context, spec JobSpec) (*Result, error) {
 
 	popt := place.Defaults()
 	popt.Seed = spec.Seed
-	if popt.Seed == 0 {
-		popt.Seed = 1
-	}
 	popt.Effort = spec.Effort
-	if popt.Effort == 0 {
-		popt.Effort = defaultEffort
-	}
 	popt.Delay = dm
 	t0 := time.Now()
 	pl, err := place.PlaceContext(ctx, nl, f, popt)
@@ -165,6 +163,8 @@ func resolveNetlist(spec JobSpec) (*netlist.Netlist, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown circuit %q", spec.Circuit)
 	}
+	// Normalized() applied the default scale; the guard keeps direct
+	// callers with a raw spec safe.
 	scale := spec.Scale
 	if scale == 0 {
 		scale = defaultScale

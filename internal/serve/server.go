@@ -32,8 +32,9 @@ func NewServer(m *Manager) *Server {
 // Manager exposes the underlying manager (for drain on shutdown).
 func (s *Server) Manager() *Manager { return s.m }
 
-// maxSpecBytes bounds a submit body: an inline netlist plus slack.
-const maxSpecBytes = maxInlineNetlist + 64*1024
+// MaxSpecBytes bounds a submit body: an inline netlist plus slack.
+// The cluster layer applies the same bound to its submit endpoints.
+const MaxSpecBytes = maxInlineNetlist + 64*1024
 
 // Handler builds the route table.
 func (s *Server) Handler() http.Handler {
@@ -62,7 +63,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	spec, err := DecodeSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	spec, err := DecodeSpec(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
 		return
@@ -118,20 +119,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": status})
 }
 
-// handleVars serves the expvar-style introspection document: manager
-// counters plus the runtime stats that matter under sustained load.
-func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+// VarsDoc is the expvar-style introspection document served at
+// /debug/vars: manager counters plus the runtime stats that matter
+// under sustained load. The cluster layer embeds it and appends its
+// own section, so clustered and single-process daemons stay
+// field-compatible.
+type VarsDoc struct {
+	CounterSnapshot
+	//replint:metadata -- process uptime is introspection, not solver output
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+}
+
+// Vars snapshots the introspection document.
+func (s *Server) Vars() VarsDoc {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	doc := struct {
-		CounterSnapshot
-		//replint:metadata -- process uptime is introspection, not solver output
-		UptimeSeconds  float64 `json:"uptime_seconds"`
-		Goroutines     int     `json:"goroutines"`
-		HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
-		HeapSysBytes   uint64  `json:"heap_sys_bytes"`
-		NumGC          uint32  `json:"num_gc"`
-	}{
+	return VarsDoc{
 		CounterSnapshot: s.m.Counters(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Goroutines:      runtime.NumGoroutine(),
@@ -139,7 +146,11 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		HeapSysBytes:    ms.HeapSys,
 		NumGC:           ms.NumGC,
 	}
-	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleVars serves the introspection document.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Vars())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
