@@ -9,9 +9,9 @@ BENCHTIME ?= 1s
 # engine-iteration benchmark (full vs incremental), serialized by
 # cmd/benchjson into BENCH_JSON. Set BASELINE to a previous file to
 # attach vs_baseline speedups.
-ENGINE_BENCH ?= ^BenchmarkEngineIterate$$
+ENGINE_BENCH ?= ^(BenchmarkEngineIterate|BenchmarkBatchEmbed)$$
 ENGINE_BENCHTIME ?= 5x
-BENCH_JSON ?= BENCH_0006.json
+BENCH_JSON ?= BENCH_0009.json
 BASELINE ?=
 
 # repld daemon defaults for `make serve` / `make loadtest`.
@@ -112,4 +112,4 @@ loadtest:
 	$(GO) run ./cmd/replload -addr http://localhost$(ADDR) -n $(JOBS) -concurrency $(CONCURRENCY)
 
 clean:
-	rm -f BENCH_embed.txt BENCH_embed.json BENCH_0006.txt cover.out
+	rm -f BENCH_embed.txt BENCH_embed.json BENCH_0006.txt BENCH_0009.txt cover.out

@@ -50,6 +50,7 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 2, "concurrent job limit")
 		queue        = flag.Int("queue", 64, "queued-job bound (full queue returns 429)")
+		maxBypass    = flag.Int("max-bypass", 0, "max consecutive deadline-class pops past a waiting best-effort job (0 = default)")
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job timeout")
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Minute, "cap on per-job requested timeouts")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
@@ -67,6 +68,7 @@ func main() {
 	m := serve.NewManager(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
+		MaxBypass:      *maxBypass,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 	})

@@ -48,6 +48,9 @@ func main() {
 		route       = flag.Bool("route", false, "route each job after optimization")
 		timeoutMS   = flag.Int("timeout-ms", 0, "per-job timeout (0 = server default)")
 		distinct    = flag.Int("distinct", 1, "distinct placement seeds cycled across jobs (<n introduces duplicates; 0 or >=n makes every job unique)")
+		raceList    = flag.String("race-variants", "", `race the listed variants per job (comma list, or "all" for every engine variant; empty = no racing)`)
+		periodBound = flag.Float64("period-bound", 0, "racing period bound (0 = first full board decides)")
+		deadlineFr  = flag.Float64("deadline-frac", 0, "fraction of jobs submitted in the deadline QoS class (0..1)")
 		varySeed    = flag.Bool("vary-seed", false, "give each job a distinct placement seed (same as -distinct=n)")
 		poll        = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
 		wait        = flag.Duration("wait", 10*time.Minute, "overall deadline")
@@ -76,20 +79,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "replload: %v\n", err)
 		os.Exit(2)
 	}
+	spec := serve.JobSpec{
+		Circuit:   *circuit,
+		Scale:     *scale,
+		Algo:      *algo,
+		MaxIters:  *maxIters,
+		Route:     *route,
+		TimeoutMS: *timeoutMS,
+	}
+	if *raceList != "" {
+		spec.Algo = serve.AlgoRace
+		spec.PeriodBound = *periodBound
+		if *raceList != "all" {
+			for _, v := range strings.Split(*raceList, ",") {
+				if v = strings.TrimSpace(v); v != "" {
+					spec.RaceVariants = append(spec.RaceVariants, v)
+				}
+			}
+		}
+	}
 	lg := &loadgen{
-		cc:      cc,
-		poll:    *poll,
-		groups:  groups,
-		results: make([]outcome, *n),
-		work:    make(chan int),
-		spec: serve.JobSpec{
-			Circuit:   *circuit,
-			Scale:     *scale,
-			Algo:      *algo,
-			MaxIters:  *maxIters,
-			Route:     *route,
-			TimeoutMS: *timeoutMS,
-		},
+		cc:           cc,
+		poll:         *poll,
+		groups:       groups,
+		deadlineFrac: *deadlineFr,
+		results:      make([]outcome, *n),
+		work:         make(chan int),
+		spec:         spec,
 	}
 
 	reachable := 0
@@ -145,17 +161,31 @@ type outcome struct {
 	// determinism cross-check.
 	periodBits uint64
 	iterations int
+	// deadline is the submitted QoS class; winner is the raced variant
+	// that decided the job (empty when not racing). Duplicate groups
+	// must agree on the winner too — racing is part of the spec, so a
+	// deterministic race picks the same variant everywhere.
+	deadline bool
+	winner   string
 }
 
 // loadgen drives the job stream. Workers claim indices from work and
 // write only results[idx] — disjoint slots, no lock needed.
 type loadgen struct {
-	cc      *client.ClusterClient
-	spec    serve.JobSpec
-	poll    time.Duration
-	groups  int
-	work    chan int
-	results []outcome
+	cc           *client.ClusterClient
+	spec         serve.JobSpec
+	poll         time.Duration
+	groups       int
+	deadlineFrac float64
+	work         chan int
+	results      []outcome
+}
+
+// isDeadline assigns QoS classes deterministically and interleaved: a
+// multiplicative hash of the index spreads the deadline fraction
+// evenly through the submission order.
+func (lg *loadgen) isDeadline(idx int) bool {
+	return lg.deadlineFrac > 0 && (idx*7919)%100 < int(lg.deadlineFrac*100+0.5)
 }
 
 func (lg *loadgen) worker(ctx context.Context, done chan<- struct{}) {
@@ -170,7 +200,10 @@ func (lg *loadgen) worker(ctx context.Context, done chan<- struct{}) {
 func (lg *loadgen) runJob(ctx context.Context, idx int) outcome {
 	spec := lg.spec
 	spec.Seed = int64(idx%lg.groups) + 1
-	out := outcome{seed: spec.Seed}
+	if lg.isDeadline(idx) {
+		spec.QoS = serve.QoSDeadline
+	}
+	out := outcome{seed: spec.Seed, deadline: spec.QoS == serve.QoSDeadline}
 	t0 := time.Now()
 	fin, ep, err := lg.cc.Run(ctx, spec, lg.poll)
 	out.latency = time.Since(t0)
@@ -189,6 +222,7 @@ func (lg *loadgen) runJob(ctx context.Context, idx int) outcome {
 	if fin.Result != nil {
 		out.periodBits = math.Float64bits(fin.Result.OptimizedPeriod)
 		out.iterations = fin.Result.Iterations
+		out.winner = fin.Result.RaceWinner
 	}
 	return out
 }
@@ -199,6 +233,7 @@ func report(results []outcome, wall time.Duration) bool {
 	var completed, failed, cancelled int
 	var lats []float64
 	byNode := make(map[string][]float64)
+	byClass := make(map[string][]float64)
 	bySource := make(map[string]int)
 	for i := range results {
 		r := &results[i]
@@ -211,6 +246,11 @@ func report(results []outcome, wall time.Duration) bool {
 				node = r.endpoint
 			}
 			byNode[node] = append(byNode[node], r.latency.Seconds())
+			class := "best-effort"
+			if r.deadline {
+				class = "deadline"
+			}
+			byClass[class] = append(byClass[class], r.latency.Seconds())
 			if r.source != "" {
 				bySource[r.source]++
 			}
@@ -227,6 +267,18 @@ func report(results []outcome, wall time.Duration) bool {
 	if len(lats) > 0 {
 		sort.Float64s(lats)
 		fmt.Printf("latency: %s\n", latLine(lats))
+	}
+	// Per-QoS-class percentiles: only printed for a mixed load, where
+	// the deadline class's p99 is the scheduler's headline number.
+	if len(byClass) > 1 {
+		for _, class := range []string{"deadline", "best-effort"} {
+			ls := byClass[class]
+			if len(ls) == 0 {
+				continue
+			}
+			sort.Float64s(ls)
+			fmt.Printf("  class %-12s %3d jobs  %s\n", class, len(ls), latLine(ls))
+		}
 	}
 	// Per-node percentiles: sorted node names for a stable report.
 	if len(byNode) > 1 || (len(byNode) == 1 && anyNode(byNode) != "") {
@@ -264,9 +316,10 @@ func report(results []outcome, wall time.Duration) bool {
 	// the bit-identical optimized period and iteration count — whether
 	// it executed, coalesced, or came from the cache on any node.
 	type ref struct {
-		bits  uint64
-		iters int
-		have  bool
+		bits   uint64
+		iters  int
+		winner string
+		have   bool
 	}
 	refs := make(map[int64]*ref)
 	mismatches, checked := 0, 0
@@ -281,7 +334,7 @@ func report(results []outcome, wall time.Duration) bool {
 			refs[r.seed] = g
 		}
 		if !g.have {
-			g.bits, g.iters, g.have = r.periodBits, r.iterations, true
+			g.bits, g.iters, g.winner, g.have = r.periodBits, r.iterations, r.winner, true
 			continue
 		}
 		checked++
@@ -289,6 +342,13 @@ func report(results []outcome, wall time.Duration) bool {
 			mismatches++
 			fmt.Printf("  MISMATCH job %d (seed %d): period bits %x vs %x\n",
 				i, r.seed, r.periodBits, g.bits)
+		}
+		// Raced duplicates must also agree on which variant won: the
+		// race decision is a function of the spec, not of finish order.
+		if r.winner != g.winner {
+			mismatches++
+			fmt.Printf("  MISMATCH job %d (seed %d): race winner %q vs %q\n",
+				i, r.seed, r.winner, g.winner)
 		}
 	}
 	if mismatches > 0 {

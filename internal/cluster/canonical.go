@@ -76,6 +76,15 @@ type CanonSpec struct {
 	Effort   float64
 	MaxIters int
 	Route    bool
+	// RaceVariants is the raced variant set, comma-joined in canonical
+	// flow.EngineAlgorithms order ("" for non-race jobs) — a string
+	// rather than a slice so CanonSpec stays comparable. The serve
+	// layer's racing rule makes the winner a pure function of the spec,
+	// which is exactly what lets raced results share the content-
+	// addressed cache: these fields determine the result, so they hash.
+	// QoS does not — it only reorders the queue.
+	RaceVariants string
+	PeriodBound  float64
 }
 
 // Canonicalize validates spec and reduces it to canonical form.
@@ -85,13 +94,15 @@ func Canonicalize(spec serve.JobSpec) (CanonSpec, error) {
 	}
 	n := spec.Normalized()
 	c := CanonSpec{
-		Circuit:  n.Circuit,
-		Scale:    n.Scale,
-		Algo:     n.Algo,
-		Seed:     n.Seed,
-		Effort:   n.Effort,
-		MaxIters: n.MaxIters,
-		Route:    n.Route,
+		Circuit:      n.Circuit,
+		Scale:        n.Scale,
+		Algo:         n.Algo,
+		Seed:         n.Seed,
+		Effort:       n.Effort,
+		MaxIters:     n.MaxIters,
+		Route:        n.Route,
+		RaceVariants: strings.Join(n.RaceVariants, ","),
+		PeriodBound:  n.PeriodBound,
 	}
 	if n.Netlist != "" {
 		nl, err := netlist.Read(strings.NewReader(n.Netlist))
@@ -111,8 +122,9 @@ func Canonicalize(spec serve.JobSpec) (CanonSpec, error) {
 // order, or value encodings MUST bump the version byte — the golden
 // hash vectors under testdata pin the current format, so an
 // accidental drift fails the suite instead of silently splitting
-// every deployed cache.
-var canonMagic = []byte("replspec\x01")
+// every deployed cache. \x02 added the racing fields (RaceVariants,
+// PeriodBound); \x01 was the pre-racing field set.
+var canonMagic = []byte("replspec\x02")
 
 // Field tags, in mandatory encode order. Tags make truncation and
 // reordering detectable when decoding.
@@ -125,6 +137,8 @@ const (
 	tagEffort
 	tagMaxIters
 	tagRoute
+	tagRaceVariants
+	tagPeriodBound
 )
 
 // Encode serializes the canonical spec: magic, then every field in tag
@@ -142,6 +156,8 @@ func (c CanonSpec) Encode() []byte {
 	putFloat(&b, tagEffort, c.Effort)
 	putInt(&b, tagMaxIters, int64(c.MaxIters))
 	putBool(&b, tagRoute, c.Route)
+	putString(&b, tagRaceVariants, c.RaceVariants)
+	putFloat(&b, tagPeriodBound, c.PeriodBound)
 	return b.Bytes()
 }
 
@@ -162,6 +178,8 @@ func DecodeCanonical(data []byte) (CanonSpec, error) {
 	c.Effort = d.getFloat(tagEffort)
 	c.MaxIters = int(d.getInt(tagMaxIters))
 	c.Route = d.getBool(tagRoute)
+	c.RaceVariants = d.getString(tagRaceVariants)
+	c.PeriodBound = d.getFloat(tagPeriodBound)
 	if d.err != nil {
 		return CanonSpec{}, d.err
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -22,6 +23,12 @@ func FuzzCanonicalSpec(f *testing.F) {
 	f.Add(`{"circuit":"ex5p","scale":1e308}`)
 	f.Add(`{"circuit":"","algo":"\x00"}`)
 	f.Add(`{`)
+	f.Add(`{"circuit":"ex5p","algo":"race"}`)
+	f.Add(`{"circuit":"ex5p","algo":"race","race_variants":["lex5","rt","lex5"],"period_bound":12.5}`)
+	f.Add(`{"circuit":"ex5p","algo":"race","race_variants":[""],"period_bound":-1}`)
+	f.Add(`{"circuit":"ex5p","algo":"race","race_variants":["fastest"]}`)
+	f.Add(`{"circuit":"ex5p","qos":"deadline"}`)
+	f.Add(`{"circuit":"ex5p","qos":"DEADLINE","algo":"RACE","period_bound":1e308}`)
 	f.Fuzz(func(t *testing.T, body string) {
 		spec, err := serve.DecodeSpec(strings.NewReader(body))
 		if err != nil {
@@ -57,6 +64,11 @@ func FuzzDecodeCanonical(f *testing.F) {
 	f.Add([]byte("replspec\x01"))
 	f.Add(CanonSpec{Circuit: "ex5p", Scale: 0.2, Algo: "rt", Seed: 1, Effort: 2}.Encode())
 	f.Add(CanonSpec{Netlist: "circuit t\ninput a\noutput o a\n", Algo: "lex5", Seed: -3, MaxIters: 9, Route: true}.Encode())
+	f.Add(CanonSpec{Circuit: "ex5p", Algo: "race", RaceVariants: "rt,lex3", PeriodBound: 10.5}.Encode())
+	// Regression seed in the spirit of the PR 8 NaN-effort crasher: the
+	// decoder must pass NaN bit patterns through without normalizing
+	// them (Validate rejects them later, at the spec layer).
+	f.Add(CanonSpec{Circuit: "ex5p", Algo: "race", RaceVariants: "lex2", PeriodBound: math.NaN()}.Encode())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := DecodeCanonical(data)
 		if err != nil {

@@ -520,3 +520,71 @@ func TestSingleNodeCluster(t *testing.T) {
 		t.Errorf("resubmit source %q, want cache", sub.Source)
 	}
 }
+
+// TestClusterRacedSpecDedup is the racing acceptance path end to end:
+// identical raced specs — even with the variant list spelled in a
+// different order — canonicalize to the same SpecHash, so duplicates
+// are answered from the dedup layer with the identical winner and
+// period bits. First-finisher-wins racing would break exactly this
+// (see DESIGN.md); the canonical-order decision rule keeps raced
+// results safe to cache.
+func TestClusterRacedSpecDedup(t *testing.T) {
+	tc := startCluster(t, []string{"n1", "n2", "n3"}, nil)
+	spec := smallSpec()
+	spec.Seed = 61 // distinct hash from other tests in the run
+	spec.Algo = serve.AlgoRace
+	spec.RaceVariants = []string{"rt", "lex3"}
+
+	st1 := tc.runOn(t, "n1", spec)
+	if st1.State != serve.StateDone || st1.Result == nil {
+		t.Fatalf("raced run: %+v", st1)
+	}
+	if st1.Result.RaceWinner == "" {
+		t.Fatal("raced result carries no winner")
+	}
+	h, err := HashSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.SpecHash != h.String() {
+		t.Errorf("spec hash %q, want %q", st1.SpecHash, h)
+	}
+
+	// The same race spelled differently (variant order, case) must hash
+	// identically — the hash covers the canonical fold, not the JSON.
+	reordered := spec
+	reordered.RaceVariants = []string{"LEX3", "rt", "lex3"}
+	if h2, err := HashSpec(reordered); err != nil || h2 != h {
+		t.Fatalf("reordered variant list changed the hash: %v vs %v (err %v)", h2, h, err)
+	}
+
+	// Resubmit through the other members, reordered: every duplicate is
+	// served from the dedup layer with the identical decision.
+	waitStore(t, tc, h, 2)
+	for _, id := range []string{"n2", "n3"} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		st, err := tc.client(id).Submit(ctx, reordered)
+		cancel()
+		if err != nil {
+			t.Fatalf("raced resubmit via %s: %v", id, err)
+		}
+		if st.State != serve.StateDone || st.Source != "cache" || st.Result == nil {
+			t.Fatalf("raced resubmit via %s: state=%s source=%q", id, st.State, st.Source)
+		}
+		if st.Result.RaceWinner != st1.Result.RaceWinner {
+			t.Errorf("cached winner %q differs from executed winner %q", st.Result.RaceWinner, st1.Result.RaceWinner)
+		}
+		if math.Float64bits(st.Result.OptimizedPeriod) != math.Float64bits(st1.Result.OptimizedPeriod) {
+			t.Errorf("cached raced period differs: %x vs %x",
+				math.Float64bits(st.Result.OptimizedPeriod), math.Float64bits(st1.Result.OptimizedPeriod))
+		}
+	}
+
+	hits := int64(0)
+	for _, id := range tc.ids {
+		hits += tc.nodes[id].Snapshot().Dedup.CacheHits
+	}
+	if hits < 2 {
+		t.Errorf("raced-spec cache hits = %d, want >= 2", hits)
+	}
+}

@@ -1,0 +1,170 @@
+package embed
+
+import (
+	"context"
+	"sync"
+)
+
+// SolveBatch runs several independent embedding problems through one
+// shared wavefront pass: a single pool of workers consumes a global
+// ready queue of (problem, node) tasks, so small trees from the same
+// design share scheduling overhead and pooled scratch arenas instead
+// of each paying a full Solve setup/teardown.
+//
+// Determinism: every node is processed with par = 1 (the serial
+// processNode path) and every root join with finish(1), so each
+// problem's frontier is bit-identical to p.SolveContext(ctx) run
+// alone — only the interleaving across problems changes, and no DP
+// state is shared between problems. The oracle's batch check pins
+// this equivalence.
+//
+// The returned slices are parallel to probs: results[i] or errs[i] is
+// set for every input. A cancelled context surfaces as ctx.Err() on
+// every problem that had not finished. workers <= 1 degenerates to a
+// sequential loop of SolveContext calls.
+func SolveBatch(ctx context.Context, probs []*Problem, workers int) ([]*Result, []error) {
+	results := make([]*Result, len(probs))
+	errs := make([]error, len(probs))
+	if workers <= 1 || len(probs) == 1 {
+		for i, p := range probs {
+			results[i], errs[i] = p.SolveContext(ctx)
+		}
+		return results, errs
+	}
+
+	// Per-problem DP state plus the dependency bookkeeping the shared
+	// queue needs: how many children of each node are still pending,
+	// and who the parent is (the Tree stores only Children links).
+	type pstate struct {
+		r       *Result
+		pending []int32
+		parent  []NodeID
+	}
+	states := make([]*pstate, len(probs))
+
+	type task struct {
+		p    int
+		node NodeID // -1 means "run finish for problem p"
+	}
+	var (
+		mu          sync.Mutex
+		cond        = sync.NewCond(&mu)
+		ready       []task
+		outstanding int // tasks not yet completed, including not-yet-ready ones
+	)
+
+	for i, p := range probs {
+		if err := p.T.Validate(p.G.NumVertices()); err != nil {
+			errs[i] = err
+			continue
+		}
+		r := &Result{p: p, ctx: ctx, sols: make([]nodeSols, len(p.T.Nodes))}
+		for j := range r.sols {
+			//replint:ignore hotalloc -- one-time per-node table setup before the DP starts, not per-pop work
+			r.sols[j].at = make([][]solution, p.G.NumVertices())
+		}
+		st := &pstate{
+			r:       r,
+			pending: make([]int32, len(p.T.Nodes)),
+			parent:  make([]NodeID, len(p.T.Nodes)),
+		}
+		for id := range p.T.Nodes {
+			st.pending[id] = int32(len(p.T.Nodes[id].Children))
+			for _, c := range p.T.Nodes[id].Children {
+				st.parent[c] = NodeID(id)
+			}
+		}
+		states[i] = st
+		// Seed: leaves (pending 0) are immediately ready; the root is
+		// never a node task — it joins in finish once its children are
+		// done. A root-only tree goes straight to finish.
+		outstanding++ // the finish task
+		for id := range p.T.Nodes {
+			if NodeID(id) == p.T.Root {
+				continue
+			}
+			outstanding++
+			if st.pending[id] == 0 {
+				ready = append(ready, task{p: i, node: NodeID(id)})
+			}
+		}
+		if st.pending[p.T.Root] == 0 && len(p.T.Nodes) == 1 {
+			ready = append(ready, task{p: i, node: -1})
+		}
+	}
+	if outstanding == 0 {
+		return results, errs
+	}
+	if workers > outstanding {
+		workers = outstanding
+	}
+
+	work := func() {
+		sc := getScratch()
+		defer putScratch(sc)
+		for {
+			mu.Lock()
+			//replint:ignore ctxstride -- cancellation drains through the task graph: aborted node tasks still complete and decrement outstanding, so this wait is woken promptly after ctx is done
+			for len(ready) == 0 && outstanding > 0 {
+				cond.Wait()
+			}
+			if len(ready) == 0 {
+				mu.Unlock()
+				return
+			}
+			t := ready[0]
+			ready = ready[1:]
+			mu.Unlock()
+
+			st := states[t.p]
+			if t.node < 0 {
+				// Root join + frontier for a completed problem. finish(1)
+				// keeps the serial code path; results for distinct t.p are
+				// disjoint slots, written under mu for publication.
+				res, err := st.r.finish(1)
+				mu.Lock()
+				results[t.p], errs[t.p] = res, err
+				outstanding--
+				if outstanding == 0 {
+					cond.Broadcast()
+				}
+				mu.Unlock()
+				continue
+			}
+
+			// Serial per-node DP: identical to the workers==1 path of
+			// SolveContext. Cancellation is polled inside; an aborted
+			// node still completes its task so the dependency chain
+			// drains and finish reports ctx.Err().
+			st.r.processNode(t.node, 1, sc)
+
+			parent := st.parent[t.node]
+			mu.Lock()
+			outstanding--
+			st.pending[parent]--
+			if st.pending[parent] == 0 {
+				if parent == st.r.p.T.Root {
+					ready = append(ready, task{p: t.p, node: -1})
+				} else {
+					ready = append(ready, task{p: t.p, node: parent})
+				}
+				cond.Signal()
+			}
+			if outstanding == 0 {
+				cond.Broadcast()
+			}
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+	return results, errs
+}

@@ -1,0 +1,130 @@
+package embed
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// batchMix builds a mixed bag of randomized problems spanning the
+// signature modes, the shapes SolveBatch must keep independent.
+func batchMix(seed int64, k int) []*Problem {
+	modes := []Mode{
+		{LexDepth: 1},
+		{LexDepth: 1, Delay: QuadraticDelay},
+		{LexDepth: 3},
+		{LexDepth: 1, MC: true},
+		{LexDepth: 1, OverlapControl: true},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	probs := make([]*Problem, k)
+	for i := range probs {
+		m := modes[rng.Intn(len(modes))]
+		probs[i] = randomProblem(seed*100+int64(i), 5+rng.Intn(2), 5, 3+rng.Intn(3), m, rng.Intn(5) == 0)
+	}
+	return probs
+}
+
+// TestSolveBatchMatchesSolo pins the batch determinism guarantee: each
+// problem's result from the shared wavefront pass is bit-identical to
+// solving it alone, at every worker count, for every position in the
+// batch.
+func TestSolveBatchMatchesSolo(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		probs := batchMix(int64(trial+1), 3+trial%4)
+		want := make([]*Result, len(probs))
+		werr := make([]error, len(probs))
+		for i, p := range probs {
+			want[i], werr[i] = p.Solve()
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			got, errs := SolveBatch(context.Background(), probs, workers)
+			for i := range probs {
+				if (werr[i] == nil) != (errs[i] == nil) {
+					t.Fatalf("trial %d[w=%d] problem %d: batch err %v, solo err %v",
+						trial, workers, i, errs[i], werr[i])
+				}
+				if werr[i] != nil {
+					if errs[i].Error() != werr[i].Error() {
+						t.Fatalf("trial %d[w=%d] problem %d: batch err %q, solo err %q",
+							trial, workers, i, errs[i], werr[i])
+					}
+					continue
+				}
+				resultsEqual(t, "batch", workers, probs[i], want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestSolveBatchIsolatesFailures checks a malformed problem in the
+// middle of a batch fails alone: its slot gets the validation error,
+// every other slot still solves bit-identically to solo.
+func TestSolveBatchIsolatesFailures(t *testing.T) {
+	probs := batchMix(42, 4)
+	bad := randomProblem(43, 5, 5, 3, Mode{LexDepth: 1}, false)
+	bad.T.Nodes[0].Children = append(bad.T.Nodes[0].Children, NodeID(len(bad.T.Nodes)+5)) // dangling child
+	probs = append(probs[:2:2], append([]*Problem{bad}, probs[2:]...)...)
+
+	got, errs := SolveBatch(context.Background(), probs, 4)
+	if errs[2] == nil {
+		t.Fatal("malformed problem accepted by batch solve")
+	}
+	if got[2] != nil {
+		t.Fatal("malformed problem produced a result")
+	}
+	for i, p := range probs {
+		if i == 2 {
+			continue
+		}
+		want, werr := p.Solve()
+		if (werr == nil) != (errs[i] == nil) {
+			t.Fatalf("problem %d: batch err %v, solo err %v", i, errs[i], werr)
+		}
+		if werr == nil {
+			resultsEqual(t, "isolate", 4, p, want, got[i])
+		}
+	}
+}
+
+// TestSolveBatchCancelled checks a cancelled context surfaces as
+// ctx.Err() on every unfinished problem and leaks no goroutines (the
+// -race run would flag unsynchronized stragglers).
+func TestSolveBatchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	probs := batchMix(7, 5)
+	got, errs := SolveBatch(ctx, probs, 4)
+	for i := range probs {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("problem %d: err %v, want context.Canceled", i, errs[i])
+		}
+		if got[i] != nil {
+			t.Fatalf("problem %d: cancelled batch returned a partial result", i)
+		}
+	}
+}
+
+// TestSolveBatchEmpty pins the trivial shapes: no problems, and a
+// single problem (which degenerates to the solo path).
+func TestSolveBatchEmpty(t *testing.T) {
+	got, errs := SolveBatch(context.Background(), nil, 4)
+	if len(got) != 0 || len(errs) != 0 {
+		t.Fatalf("empty batch returned %d results, %d errors", len(got), len(errs))
+	}
+	p := randomProblem(9, 5, 5, 3, Mode{LexDepth: 1}, false)
+	want, werr := p.Solve()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	got, errs = SolveBatch(context.Background(), []*Problem{p}, 4)
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	resultsEqual(t, "single", 4, p, want, got[0])
+}

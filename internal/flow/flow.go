@@ -87,8 +87,35 @@ func (a Algorithm) Mode() embed.Mode {
 	}
 }
 
-// EngineAlgorithms lists the Table III variants in paper order.
+// EngineAlgorithms lists the Table III variants in paper order. This
+// order is load-bearing beyond presentation: the serve layer's
+// speculative racing decides winners by position in this slice, so
+// reordering it changes which raced variant wins and therefore the
+// content hash → result mapping of every raced job.
 var EngineAlgorithms = []Algorithm{RTEmbed, LexMC, Lex2, Lex3, Lex4, Lex5}
+
+// EngineOrder returns a's rank within EngineAlgorithms — the canonical
+// racing priority — or -1 for algorithms that are not engine variants
+// (VPR baseline, local replication).
+func EngineOrder(a Algorithm) int {
+	for i, e := range EngineAlgorithms {
+		if e == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// EngineAlgorithmNames returns the canonical spellings of the engine
+// variants in EngineAlgorithms (racing) order. This is the default
+// variant list for raced jobs.
+func EngineAlgorithmNames() []string {
+	out := make([]string, len(EngineAlgorithms))
+	for i, a := range EngineAlgorithms {
+		out[i] = CanonicalName(a)
+	}
+	return out
+}
 
 // algoNames maps the user-facing algorithm names (CLI -algo values and
 // repld job specs) to algorithms. Every front end must resolve names

@@ -1,0 +1,72 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/embed"
+)
+
+// CheckBatchEmbed is the batch-embedding differential oracle: a seeded
+// multi-tree design (k independent random fanin-tree problems) solved
+// through embed.SolveBatch must reproduce, slot for slot, exactly what
+// solving each problem alone produces — same error outcomes and
+// bitwise-identical frontiers. This is the property that lets the
+// serve layer push a whole design's trees through one wavefront pass
+// without perturbing any downstream decision.
+func CheckBatchEmbed(probs []*embed.Problem, workers int) error {
+	solo := make([]*embed.Result, len(probs))
+	serr := make([]error, len(probs))
+	for i, p := range probs {
+		solo[i], serr[i] = p.Solve()
+	}
+	got, errs := embed.SolveBatch(context.Background(), probs, workers)
+	for i := range probs {
+		if (serr[i] == nil) != (errs[i] == nil) {
+			return fmt.Errorf("problem %d: batch err %v, solo err %v", i, errs[i], serr[i])
+		}
+		if serr[i] != nil {
+			if errs[i].Error() != serr[i].Error() {
+				return fmt.Errorf("problem %d: batch err %q, solo err %q", i, errs[i], serr[i])
+			}
+			continue
+		}
+		if err := frontierBitsEqual(solo[i].Frontier, got[i].Frontier); err != nil {
+			return fmt.Errorf("problem %d (workers %d): %w", i, workers, err)
+		}
+	}
+	return nil
+}
+
+// frontierBitsEqual compares two frontiers bitwise, order included:
+// both sides come from the canonical finish sort, so any difference —
+// even a NaN payload or signed zero — is a determinism break.
+func frontierBitsEqual(want, got []embed.FrontierSol) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("frontier size %d, solo %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sigBitsEqual(want[i].Sig, got[i].Sig) || want[i].Vertex != got[i].Vertex {
+			return fmt.Errorf("frontier[%d] = %+v, solo %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// sigBitsEqual compares signatures by float bit pattern, not float
+// equality: +0 vs -0 and NaN payloads count as differences.
+func sigBitsEqual(a, b embed.Sig) bool {
+	if math.Float64bits(a.Cost) != math.Float64bits(b.Cost) ||
+		math.Float64bits(a.TC) != math.Float64bits(b.TC) ||
+		math.Float64bits(a.R) != math.Float64bits(b.R) ||
+		a.W != b.W || a.Branch != b.Branch || a.Peak != b.Peak {
+		return false
+	}
+	for i := range a.D {
+		if math.Float64bits(a.D[i]) != math.Float64bits(b.D[i]) {
+			return false
+		}
+	}
+	return true
+}

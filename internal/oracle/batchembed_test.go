@@ -1,0 +1,38 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/embed"
+)
+
+// TestBatchEmbedAgreement sweeps ~100 seeded multi-tree designs
+// through the batch-embedding oracle: each design is 3..8 independent
+// random problems (mixed modes, occasional infeasible instances), and
+// the shared wavefront pass must reproduce the one-at-a-time results
+// bitwise at several worker counts.
+func TestBatchEmbedAgreement(t *testing.T) {
+	designs := agreementRuns(t, 100)
+	modes := []embed.Mode{
+		{LexDepth: 1},
+		{LexDepth: 1, Delay: embed.QuadraticDelay},
+		{LexDepth: 1, Delay: embed.ElmoreDelay},
+		{LexDepth: 3},
+		{LexDepth: 1, MC: true},
+		{LexDepth: 1, OverlapControl: true},
+	}
+	workerSweep := []int{1, 2, 4}
+	rng := rand.New(rand.NewSource(4021))
+	for d := 0; d < designs; d++ {
+		k := 3 + rng.Intn(6)
+		probs := make([]*embed.Problem, k)
+		for i := range probs {
+			probs[i] = GenProblem(rng, modes[rng.Intn(len(modes))])
+		}
+		workers := workerSweep[d%len(workerSweep)]
+		if err := CheckBatchEmbed(probs, workers); err != nil {
+			t.Fatalf("design %d (k=%d, workers=%d): %v", d, k, workers, err)
+		}
+	}
+}

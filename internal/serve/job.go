@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 
@@ -47,6 +48,44 @@ type JobSpec struct {
 	Route bool `json:"route,omitempty"`
 	// TimeoutMS caps the job's run time; 0 uses the manager default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// RaceVariants lists the engine variants to race when Algo is
+	// AlgoRace (default: every flow.EngineAlgorithms variant). Order,
+	// case, and duplicates are irrelevant — Normalized folds the list
+	// into canonical racing order, so two raced specs differing only in
+	// list order hash identically in the cluster layer.
+	RaceVariants []string `json:"race_variants,omitempty"`
+	// PeriodBound is the racing target (AlgoRace only): the earliest
+	// canonical-order variant whose optimized period meets the bound
+	// wins. 0 means unbounded — every variant runs and the best period
+	// wins (ties go to canonical order).
+	PeriodBound float64 `json:"period_bound,omitempty"`
+	// QoS selects the scheduling class: QoSDeadline jobs are scheduled
+	// ahead of QoSBestEffort ones (with a bounded bypass count so
+	// best-effort jobs cannot starve). Scheduling-only: it never
+	// changes what a job computes, so the cluster layer excludes it
+	// from the content hash.
+	QoS string `json:"qos,omitempty"`
+}
+
+// AlgoRace is the JobSpec.Algo value selecting speculative
+// multi-variant racing.
+const AlgoRace = "race"
+
+// QoS class names accepted in JobSpec.QoS. Empty means best-effort.
+const (
+	QoSBestEffort = "best-effort"
+	QoSDeadline   = "deadline"
+)
+
+// IsRace reports whether the spec requests speculative racing.
+func (s *JobSpec) IsRace() bool {
+	return strings.EqualFold(s.Algo, AlgoRace)
+}
+
+// Deadline reports whether the spec is in the deadline QoS class.
+func (s *JobSpec) Deadline() bool {
+	return strings.EqualFold(s.QoS, QoSDeadline)
 }
 
 // maxInlineNetlist bounds inline netlist text (16 MiB, matching the
@@ -64,9 +103,19 @@ const maxInlineNetlist = 16 << 20
 // what it computes.
 func (s JobSpec) Normalized() JobSpec {
 	n := s
-	if a, ok := flow.ParseAlgorithm(n.Algo); ok {
-		n.Algo = flow.CanonicalName(a)
+	if n.IsRace() {
+		n.Algo = AlgoRace
+		n.RaceVariants = canonVariants(n.RaceVariants)
+	} else {
+		if a, ok := flow.ParseAlgorithm(n.Algo); ok {
+			n.Algo = flow.CanonicalName(a)
+		}
+		// Race tuning is meaningless outside racing; clearing it here
+		// (rather than hashing it) would let a stray bound alias two
+		// different submissions, so Validate rejects it instead and
+		// normalization only has to handle the race side.
 	}
+	n.QoS = strings.ToLower(n.QoS)
 	if n.Seed == 0 {
 		n.Seed = 1
 	}
@@ -80,6 +129,33 @@ func (s JobSpec) Normalized() JobSpec {
 		n.Scale = defaultScale
 	}
 	return n
+}
+
+// canonVariants folds a raced variant list into canonical racing
+// order: names resolve through flow.ParseAlgorithm, duplicates and
+// case variants collapse, and the result follows flow.EngineAlgorithms
+// order — the order racing winners are decided in. An empty list
+// selects every engine variant. Lists containing empty, unknown, or
+// non-engine names come back unchanged for Validate to reject.
+func canonVariants(vs []string) []string {
+	if len(vs) == 0 {
+		return flow.EngineAlgorithmNames()
+	}
+	have := make(map[flow.Algorithm]bool, len(vs))
+	for _, v := range vs {
+		a, ok := flow.ParseAlgorithm(v)
+		if v == "" || !ok || flow.EngineOrder(a) < 0 {
+			return vs
+		}
+		have[a] = true
+	}
+	out := make([]string, 0, len(have))
+	for _, a := range flow.EngineAlgorithms {
+		if have[a] {
+			out = append(out, flow.CanonicalName(a))
+		}
+	}
+	return out
 }
 
 // DecodeSpec parses one job spec from r, rejecting unknown fields. It
@@ -110,9 +186,30 @@ func (s *JobSpec) Validate() error {
 	if len(s.Netlist) > maxInlineNetlist {
 		return fmt.Errorf("inline netlist exceeds %d bytes", maxInlineNetlist)
 	}
-	if _, ok := flow.ParseAlgorithm(s.Algo); !ok {
-		return fmt.Errorf("unknown algorithm %q (valid: %s)",
-			s.Algo, strings.Join(flow.AlgorithmNames(), ", "))
+	if s.IsRace() {
+		for _, v := range s.RaceVariants {
+			a, ok := flow.ParseAlgorithm(v)
+			if v == "" || !ok || flow.EngineOrder(a) < 0 {
+				return fmt.Errorf("race variant %q is not an engine variant (valid: %s)",
+					v, strings.Join(flow.EngineAlgorithmNames(), ", "))
+			}
+		}
+		if math.IsNaN(s.PeriodBound) || math.IsInf(s.PeriodBound, 0) || s.PeriodBound < 0 {
+			return fmt.Errorf("period bound %v must be finite and non-negative", s.PeriodBound)
+		}
+	} else {
+		if _, ok := flow.ParseAlgorithm(s.Algo); !ok {
+			return fmt.Errorf("unknown algorithm %q (valid: %s, %s)",
+				s.Algo, strings.Join(flow.AlgorithmNames(), ", "), AlgoRace)
+		}
+		if len(s.RaceVariants) > 0 || s.PeriodBound != 0 {
+			return fmt.Errorf("race_variants/period_bound require algo %q", AlgoRace)
+		}
+	}
+	switch strings.ToLower(s.QoS) {
+	case "", QoSBestEffort, QoSDeadline:
+	default:
+		return fmt.Errorf("unknown qos %q (valid: %s, %s)", s.QoS, QoSBestEffort, QoSDeadline)
 	}
 	if s.Scale < 0 || s.Scale > 1 {
 		return fmt.Errorf("scale %v out of range (0, 1]", s.Scale)
@@ -183,6 +280,14 @@ type Result struct {
 	RoutedCritPath float64 `json:"routed_crit_path,omitempty"`
 	ChannelWidth   int     `json:"channel_width,omitempty"`
 	WireLength     int     `json:"wire_length,omitempty"`
+
+	// Race outcome (raced jobs only). RaceWinner is the canonical name
+	// of the variant whose result this is, and RaceMetBound reports
+	// whether it met the spec's period bound. Both are functions of the
+	// per-variant results alone — never of finish order — so they are
+	// as bit-reproducible as the rest of the Result.
+	RaceWinner   string `json:"race_winner,omitempty"`
+	RaceMetBound bool   `json:"race_met_bound,omitempty"`
 }
 
 // Status is the externally visible job record, as served at
@@ -192,7 +297,8 @@ type Status struct {
 	State State   `json:"state"`
 	Spec  JobSpec `json:"spec"`
 	Error string  `json:"error,omitempty"`
-	// Position is the number of jobs ahead in the queue (queued only).
+	// Position is the number of same-QoS-class jobs ahead in the queue
+	// (queued only); cross-class order depends on the bypass policy.
 	Position int `json:"position,omitempty"`
 
 	// SpecHash, Source, and Node are set by the cluster layer

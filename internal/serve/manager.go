@@ -38,8 +38,17 @@ type Config struct {
 	// (default 30 minutes).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
-	// Runner executes jobs (default ExecuteJob).
+	// MaxBypass bounds best-effort starvation: at most MaxBypass
+	// consecutive deadline jobs may be scheduled past a waiting
+	// best-effort job before the best-effort head runs (default 4).
+	MaxBypass int
+	// Runner executes jobs (default ExecuteJob). Raced jobs fan out
+	// through the same Runner once per variant, so a test Runner seam
+	// covers the race path too.
 	Runner Runner
+	// Clock overrides the manager's time source (default time.Now) so
+	// scheduler tests can drive timestamps with a fake clock.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -55,8 +64,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 30 * time.Minute
 	}
+	if c.MaxBypass <= 0 {
+		c.MaxBypass = 4
+	}
 	if c.Runner == nil {
 		c.Runner = ExecuteJob
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -79,7 +94,11 @@ type job struct {
 	done       chan struct{} // closed on reaching a terminal state
 }
 
-// Manager owns the bounded job queue and worker pool.
+// Manager owns the bounded job queue and worker pool. The queue is two
+// FIFOs — deadline-class and best-effort — drained under a bounded-
+// bypass policy: deadline jobs go first, but after MaxBypass
+// consecutive deadline pops past a waiting best-effort job, the
+// best-effort head runs. Within a class, order is strictly FIFO.
 type Manager struct {
 	cfg Config
 
@@ -87,14 +106,18 @@ type Manager struct {
 	baseCancel context.CancelFunc
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signalled on enqueue and on drain start
 	jobs     map[string]*job
 	order    []string // submission order, for stable listings
 	queued   []string // FIFO of not-yet-started job IDs, for positions
 	seq      int
 	draining bool
 
-	queue chan *job
-	wg    sync.WaitGroup
+	queueD []*job // deadline-class FIFO
+	queueB []*job // best-effort FIFO
+	bypass int    // deadline pops since the best-effort head last ran
+
+	wg sync.WaitGroup
 
 	c counters
 }
@@ -108,8 +131,8 @@ func NewManager(cfg Config) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
-		queue:      make(chan *job, cfg.QueueDepth),
 	}
+	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -130,25 +153,32 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 		m.c.rejectedDrain.Add(1)
 		return Status{}, ErrDraining
 	}
+	// Admission is one shared bound across both QoS classes — a
+	// deadline flood still hits ErrQueueFull at the same depth the
+	// pre-QoS single queue did.
+	if len(m.queueD)+len(m.queueB) >= m.cfg.QueueDepth {
+		m.c.rejectedFull.Add(1)
+		return Status{}, ErrQueueFull
+	}
 	m.seq++
 	j := &job{
 		id:        fmt.Sprintf("j%06d", m.seq),
 		spec:      spec,
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: m.cfg.Clock(),
 		done:      make(chan struct{}),
 	}
-	select {
-	case m.queue <- j:
-	default:
-		m.seq-- // the ID was never exposed; reuse it
-		m.c.rejectedFull.Add(1)
-		return Status{}, ErrQueueFull
+	if j.spec.Deadline() {
+		m.queueD = append(m.queueD, j)
+		m.c.deadlineAccepted.Add(1)
+	} else {
+		m.queueB = append(m.queueB, j)
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.queued = append(m.queued, j.id)
 	m.c.accepted.Add(1)
+	m.cond.Signal()
 	return m.statusLocked(j), nil
 }
 
@@ -228,14 +258,11 @@ func (m *Manager) Draining() bool {
 // goroutine survives the call.
 func (m *Manager) Shutdown(ctx context.Context) {
 	m.mu.Lock()
-	already := m.draining
 	m.draining = true
+	// Wake every idle worker: they drain the remaining queue entries,
+	// then exit on the empty-while-draining condition.
+	m.cond.Broadcast()
 	m.mu.Unlock()
-	if !already {
-		// Submit sends under mu with draining checked first, so no
-		// send can race this close.
-		close(m.queue)
-	}
 
 	workersDone := make(chan struct{})
 	go func() {
@@ -254,14 +281,58 @@ func (m *Manager) Shutdown(ctx context.Context) {
 	m.baseCancel()
 }
 
-// worker drains the queue until it closes. Jobs popped after the base
-// context died (drain deadline passed) are finalized as cancelled
-// without running.
+// worker pulls scheduled jobs until the manager drains empty. Jobs
+// popped after the base context died (drain deadline passed) are
+// finalized as cancelled without running.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j := m.nextJob()
+		if j == nil {
+			return
+		}
 		m.runOne(j)
 	}
+}
+
+// nextJob blocks until the scheduler yields a job; nil means the
+// manager is draining and both queues are empty.
+func (m *Manager) nextJob() *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//replint:ignore ctxstride -- worker parking loop: woken by Submit's Signal or Shutdown's draining+Broadcast, the manager's lifecycle events; there is no per-job ctx to poll here
+	for {
+		if j := m.popLocked(); j != nil {
+			return j
+		}
+		if m.draining {
+			return nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// popLocked applies the QoS policy to the two FIFOs: deadline first,
+// except that once the waiting best-effort head has been bypassed
+// MaxBypass consecutive times it runs next regardless. Caller holds mu.
+func (m *Manager) popLocked() *job {
+	if len(m.queueD) > 0 && (len(m.queueB) == 0 || m.bypass < m.cfg.MaxBypass) {
+		j := m.queueD[0]
+		m.queueD[0] = nil // drop the backing-array reference
+		m.queueD = m.queueD[1:]
+		if len(m.queueB) > 0 {
+			m.bypass++ // the best-effort head waited through this pop
+		}
+		return j
+	}
+	if len(m.queueB) > 0 {
+		j := m.queueB[0]
+		m.queueB[0] = nil
+		m.queueB = m.queueB[1:]
+		m.bypass = 0 // the head ran; the next one starts a fresh count
+		return j
+	}
+	return nil
 }
 
 // runOne moves one job queued → running → terminal, isolating panics.
@@ -286,7 +357,7 @@ func (m *Manager) runOne(j *job) {
 	}
 	ctx, cancel := context.WithTimeout(m.baseCtx, timeout)
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = m.cfg.Clock()
 	j.cancelRun = cancel
 	m.dequeueLocked(j.id)
 	m.c.running.Add(1)
@@ -325,7 +396,9 @@ func (m *Manager) runOne(j *job) {
 
 // runProtected invokes the runner with panic isolation: a panicking
 // job fails with the panic value and stack instead of killing the
-// process — one malformed design must not take down the daemon.
+// process — one malformed design must not take down the daemon. Raced
+// jobs route through the speculative layer, fanning the same Runner
+// out once per variant.
 func (m *Manager) runProtected(ctx context.Context, spec JobSpec) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -333,6 +406,10 @@ func (m *Manager) runProtected(ctx context.Context, spec JobSpec) (res *Result, 
 			err = fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
+	if spec.IsRace() {
+		m.c.races.Add(1)
+		return raceRun(ctx, spec, m.cfg.Runner, &m.c)
+	}
 	return m.cfg.Runner(ctx, spec)
 }
 
@@ -346,7 +423,7 @@ func (m *Manager) finalizeLocked(j *job, s State, errMsg string) {
 	}
 	j.state = s
 	j.err = errMsg
-	j.finished = time.Now()
+	j.finished = m.cfg.Clock()
 	if j.started.IsZero() {
 		j.started = j.finished
 	}
@@ -382,13 +459,20 @@ func (m *Manager) statusLocked(j *job) Status {
 		Result:      j.result,
 	}
 	if j.state == StateQueued {
-		for i, q := range m.queued {
+		// Position is class-relative: the number of same-class jobs
+		// scheduled ahead. Cross-class order depends on the bypass
+		// policy, so a single global position would be a lie.
+		pos := 0
+		for _, q := range m.queued {
 			if q == j.id {
-				st.Position = i
 				break
 			}
+			if m.jobs[q].spec.Deadline() == j.spec.Deadline() {
+				pos++
+			}
 		}
-		st.QueueSeconds = time.Since(j.submitted).Seconds()
+		st.Position = pos
+		st.QueueSeconds = m.cfg.Clock().Sub(j.submitted).Seconds()
 		return st
 	}
 	if !j.started.IsZero() {
@@ -401,7 +485,7 @@ func (m *Manager) statusLocked(j *job) Status {
 		st.FinishedAt = &t
 		st.RunSeconds = j.finished.Sub(j.started).Seconds()
 	} else if j.state == StateRunning {
-		st.RunSeconds = time.Since(j.started).Seconds()
+		st.RunSeconds = m.cfg.Clock().Sub(j.started).Seconds()
 	}
 	return st
 }

@@ -42,6 +42,11 @@ type counters struct {
 	sptRebuilds    atomic.Int64
 	frontierHits   atomic.Int64
 	frontierMisses atomic.Int64
+	// Racing and QoS counters: raced jobs run, losing variants
+	// cancelled before they finished, and deadline-class admissions.
+	races            atomic.Int64
+	raceCancelled    atomic.Int64
+	deadlineAccepted atomic.Int64
 }
 
 // CounterSnapshot is a point-in-time view of the manager's counters.
@@ -81,6 +86,14 @@ type CounterSnapshot struct {
 	FrontierHits int64 `json:"frontier_hits"`
 	//replint:metadata -- reuse telemetry; never fed back into a solve
 	FrontierMisses int64 `json:"frontier_misses"`
+	// Racing and QoS: raced jobs run, losing variants cancelled before
+	// finishing (the racing latency win), deadline-class admissions.
+	//replint:metadata -- load telemetry; never fed back into a solve
+	Races int64 `json:"races"`
+	//replint:metadata -- load telemetry; never fed back into a solve
+	RaceLosersCancelled int64 `json:"race_losers_cancelled"`
+	//replint:metadata -- load telemetry; never fed back into a solve
+	JobsDeadline int64 `json:"jobs_deadline"`
 }
 
 // Counters snapshots the manager's counters.
@@ -106,5 +119,8 @@ func (m *Manager) Counters() CounterSnapshot {
 		SPTRebuilds:          m.c.sptRebuilds.Load(),
 		FrontierHits:         m.c.frontierHits.Load(),
 		FrontierMisses:       m.c.frontierMisses.Load(),
+		Races:                m.c.races.Load(),
+		RaceLosersCancelled:  m.c.raceCancelled.Load(),
+		JobsDeadline:         m.c.deadlineAccepted.Load(),
 	}
 }

@@ -1,6 +1,9 @@
 package serve
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestSpecNormalized pins the semantic defaults the cluster layer's
 // content hash keys on. ExecuteJob resolves its defaults through
@@ -29,10 +32,26 @@ func TestSpecNormalized(t *testing.T) {
 		{"unknown algo passes through for Validate to reject",
 			JobSpec{Circuit: "ex5p", Algo: "fastest"},
 			JobSpec{Circuit: "ex5p", Scale: 0.2, Algo: "fastest", Seed: 1, Effort: 2}},
+		{"race defaults to every engine variant",
+			JobSpec{Circuit: "ex5p", Algo: "RACE"},
+			JobSpec{Circuit: "ex5p", Scale: 0.2, Algo: "race", Seed: 1, Effort: 2,
+				RaceVariants: []string{"rt", "lexmc", "lex2", "lex3", "lex4", "lex5"}}},
+		{"race variants fold to canonical order, case, and set",
+			JobSpec{Circuit: "ex5p", Algo: "race", PeriodBound: 9.5,
+				RaceVariants: []string{"LEX5", "rt", "lex5", "Lex3"}},
+			JobSpec{Circuit: "ex5p", Scale: 0.2, Algo: "race", Seed: 1, Effort: 2, PeriodBound: 9.5,
+				RaceVariants: []string{"rt", "lex3", "lex5"}}},
+		{"unknown race variant passes through for Validate to reject",
+			JobSpec{Circuit: "ex5p", Algo: "race", RaceVariants: []string{"lex3", "fastest"}},
+			JobSpec{Circuit: "ex5p", Scale: 0.2, Algo: "race", Seed: 1, Effort: 2,
+				RaceVariants: []string{"lex3", "fastest"}}},
+		{"qos folds case",
+			JobSpec{Circuit: "ex5p", QoS: "Deadline"},
+			JobSpec{Circuit: "ex5p", Scale: 0.2, Algo: "rt", Seed: 1, Effort: 2, QoS: "deadline"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := tc.in.Normalized(); got != tc.want {
+			if got := tc.in.Normalized(); !reflect.DeepEqual(got, tc.want) {
 				t.Errorf("Normalized:\n  got  %+v\n  want %+v", got, tc.want)
 			}
 		})
@@ -40,7 +59,7 @@ func TestSpecNormalized(t *testing.T) {
 	// Idempotence: normalizing twice is a no-op.
 	for _, tc := range cases {
 		n := tc.in.Normalized()
-		if n2 := n.Normalized(); n2 != n {
+		if n2 := n.Normalized(); !reflect.DeepEqual(n2, n) {
 			t.Errorf("%s: Normalized not idempotent: %+v vs %+v", tc.name, n2, n)
 		}
 	}

@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the Config.Clock seam: a manually advanced time source,
+// so queue/run timestamps in these tests are exact rather than sampled.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// orderRecorder is a Runner that appends each executed job's Seed (the
+// test's job marker) to a shared slice. One designated plug seed blocks
+// until released, holding the single worker while a test stages its
+// arrival sequence.
+type orderRecorder struct {
+	mu      sync.Mutex
+	order   []int64
+	plug    int64
+	release chan struct{}
+}
+
+func (r *orderRecorder) runner() Runner {
+	return func(ctx context.Context, spec JobSpec) (*Result, error) {
+		if spec.Seed == r.plug {
+			select {
+			case <-r.release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &Result{}, nil
+		}
+		r.mu.Lock()
+		r.order = append(r.order, spec.Seed)
+		r.mu.Unlock()
+		return &Result{}, nil
+	}
+}
+
+func (r *orderRecorder) recorded() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int64(nil), r.order...)
+}
+
+// refSchedule replays the documented QoS policy over a static arrival
+// sequence: deadline first, except that after maxBypass consecutive
+// deadline pops past a waiting best-effort head, best-effort runs.
+func refSchedule(arrivals []bool /* true = deadline */, maxBypass int) []int {
+	var d, b []int
+	for i, dl := range arrivals {
+		if dl {
+			d = append(d, i)
+		} else {
+			b = append(b, i)
+		}
+	}
+	var out []int
+	bypass := 0
+	for len(d)+len(b) > 0 {
+		if len(d) > 0 && (len(b) == 0 || bypass < maxBypass) {
+			out = append(out, d[0])
+			d = d[1:]
+			if len(b) > 0 {
+				bypass++
+			}
+		} else {
+			out = append(out, b[0])
+			b = b[1:]
+			bypass = 0
+		}
+	}
+	return out
+}
+
+// runScheduleTrial submits the arrival sequence to a single-worker
+// manager (held by a plug job), releases the worker, and returns the
+// execution order as arrival indices.
+func runScheduleTrial(t *testing.T, arrivals []bool, maxBypass int, clk *fakeClock) []int {
+	t.Helper()
+	rec := &orderRecorder{plug: -999, release: make(chan struct{})}
+	m := NewManager(Config{
+		Workers:    1,
+		QueueDepth: len(arrivals) + 1,
+		MaxBypass:  maxBypass,
+		Runner:     rec.runner(),
+		Clock:      clk.Now,
+	})
+	defer m.Shutdown(context.Background())
+
+	plug, err := m.Submit(JobSpec{Circuit: "ex5p", Seed: rec.plug})
+	if err != nil {
+		t.Fatalf("plug submit: %v", err)
+	}
+	waitState(t, m, plug.ID, StateRunning)
+
+	ids := make([]string, len(arrivals))
+	for i, dl := range arrivals {
+		spec := JobSpec{Circuit: "ex5p", Seed: int64(i + 1)}
+		if dl {
+			spec.QoS = QoSDeadline
+		}
+		clk.Advance(time.Millisecond) // distinct, ordered arrival stamps
+		st, err := m.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = st.ID
+	}
+	close(rec.release)
+	for _, id := range ids {
+		if _, err := m.Wait(context.Background(), id); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+	got := rec.recorded()
+	out := make([]int, len(got))
+	for i, seed := range got {
+		out[i] = int(seed) - 1
+	}
+	return out
+}
+
+// TestSchedulerMatchesReference drives randomized arrival sequences
+// through the real manager and checks the execution order against the
+// independent policy replay, for several bypass bounds.
+func TestSchedulerMatchesReference(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 4 + rng.Intn(12)
+		arrivals := make([]bool, n)
+		for i := range arrivals {
+			arrivals[i] = rng.Intn(2) == 0
+		}
+		maxBypass := 1 + rng.Intn(4)
+		got := runScheduleTrial(t, arrivals, maxBypass, newFakeClock())
+		want := refSchedule(arrivals, maxBypass)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d (arrivals %v, maxBypass %d):\n  got  %v\n  want %v",
+				trial, arrivals, maxBypass, got, want)
+		}
+		// Property 1: deadline jobs never reorder among themselves,
+		// and neither do best-effort jobs (per-class FIFO).
+		lastD, lastB := -1, -1
+		for _, idx := range got {
+			if arrivals[idx] {
+				if idx < lastD {
+					t.Fatalf("trial %d: deadline jobs reordered: %v", trial, got)
+				}
+				lastD = idx
+			} else {
+				if idx < lastB {
+					t.Fatalf("trial %d: best-effort jobs reordered: %v", trial, got)
+				}
+				lastB = idx
+			}
+		}
+		// Property 2: bounded bypass — no best-effort job waits through
+		// more than maxBypass deadline executions once it heads its
+		// queue (i.e. between two best-effort executions).
+		streak := 0
+		waitingBE := false
+		for pos, idx := range got {
+			if arrivals[idx] {
+				// Does any best-effort job remain unexecuted?
+				waitingBE = false
+				for _, later := range got[pos+1:] {
+					if !arrivals[later] {
+						waitingBE = true
+						break
+					}
+				}
+				if waitingBE {
+					streak++
+					if streak > maxBypass {
+						t.Fatalf("trial %d: best-effort bypassed %d > %d times: %v",
+							trial, streak, maxBypass, got)
+					}
+				}
+			} else {
+				streak = 0
+			}
+		}
+	}
+}
+
+// TestSchedulerStarvationUnderDeadlineFlood keeps the deadline queue
+// non-empty forever (a new deadline job arrives every time one runs)
+// and checks a best-effort job still executes within MaxBypass
+// deadline pops.
+func TestSchedulerStarvationUnderDeadlineFlood(t *testing.T) {
+	const maxBypass = 3
+	rec := &orderRecorder{plug: -999, release: make(chan struct{})}
+	clk := newFakeClock()
+	m := NewManager(Config{
+		Workers:    1,
+		QueueDepth: 64,
+		MaxBypass:  maxBypass,
+		Runner:     rec.runner(),
+		Clock:      clk.Now,
+	})
+	defer m.Shutdown(context.Background())
+
+	plug, err := m.Submit(JobSpec{Circuit: "ex5p", Seed: rec.plug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, plug.ID, StateRunning)
+
+	// One best-effort job behind a wall of deadline jobs, with more
+	// deadline jobs always queued than the bypass bound allows.
+	be, err := m.Submit(JobSpec{Circuit: "ex5p", Seed: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*maxBypass+4; i++ {
+		if _, err := m.Submit(JobSpec{Circuit: "ex5p", Seed: int64(i + 1), QoS: QoSDeadline}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(rec.release)
+	if _, err := m.Wait(context.Background(), be.ID); err != nil {
+		t.Fatal(err)
+	}
+	order := rec.recorded()
+	pos := -1
+	for i, s := range order {
+		if s == 1000 {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > maxBypass {
+		t.Fatalf("best-effort job ran at position %d, want <= %d (order %v)", pos, maxBypass, order)
+	}
+}
+
+// TestQueueFullBehaviorUnchanged pins the seed 429 semantics across
+// the QoS split: one shared QueueDepth bound, ErrQueueFull for either
+// class once it is reached, and no job/ID state mutated by a rejected
+// submission.
+func TestQueueFullBehaviorUnchanged(t *testing.T) {
+	rec := &orderRecorder{plug: -999, release: make(chan struct{})}
+	m := NewManager(Config{Workers: 1, QueueDepth: 2, Runner: rec.runner(), Clock: newFakeClock().Now})
+	defer func() {
+		close(rec.release)
+		m.Shutdown(context.Background())
+	}()
+
+	plug, err := m.Submit(JobSpec{Circuit: "ex5p", Seed: rec.plug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, plug.ID, StateRunning)
+
+	if _, err := m.Submit(JobSpec{Circuit: "ex5p", QoS: QoSDeadline}); err != nil {
+		t.Fatalf("first queued submit: %v", err)
+	}
+	if _, err := m.Submit(JobSpec{Circuit: "ex5p"}); err != nil {
+		t.Fatalf("second queued submit: %v", err)
+	}
+	for _, qos := range []string{"", QoSDeadline, QoSBestEffort} {
+		if _, err := m.Submit(JobSpec{Circuit: "ex5p", QoS: qos}); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("qos %q over-capacity submit: err %v, want ErrQueueFull", qos, err)
+		}
+	}
+	if c := m.Counters(); c.JobsRejectedFull != 3 {
+		t.Fatalf("rejected-full counter %d, want 3", c.JobsRejectedFull)
+	}
+	// Rejected submissions must not burn IDs: the next accepted job
+	// continues the sequence.
+	if len(m.List()) != 3 {
+		t.Fatalf("job list has %d entries, want 3 (rejections recorded state)", len(m.List()))
+	}
+}
+
+// TestFakeClockLatencySplit checks the Clock seam end to end: queue
+// and run seconds come from the injected clock, not the wall.
+func TestFakeClockLatencySplit(t *testing.T) {
+	clk := newFakeClock()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	m := NewManager(Config{
+		Workers: 1,
+		Clock:   clk.Now,
+		Runner: func(ctx context.Context, spec JobSpec) (*Result, error) {
+			once.Do(func() { close(started) })
+			<-gate
+			return &Result{}, nil
+		},
+	})
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Submit(stubSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	clk.Advance(7 * time.Second) // "runs" for 7 fake seconds
+	close(gate)
+	final, err := m.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.RunSeconds != 7 {
+		t.Fatalf("RunSeconds %v, want exactly 7 (fake clock)", final.RunSeconds)
+	}
+	if final.QueueSeconds != 0 {
+		t.Fatalf("QueueSeconds %v, want 0 (clock never advanced while queued)", final.QueueSeconds)
+	}
+}
