@@ -13,15 +13,26 @@
 // need module-wide facts); the package arguments select which
 // packages' findings are reported.
 //
+// With -cache-dir, replint keeps a per-package fact cache keyed by a
+// content hash of each package's sources, its module-local import
+// closure, the rule set, and the toolchain version. A fully warm run
+// skips loading and type-checking the module entirely and replays the
+// stored findings byte-identically; editing one file invalidates only
+// that package and its reverse dependencies. -no-cache bypasses the
+// cache without deleting it. On the all-hit fast path no type checking
+// happens, so -v has no type-check diagnostics to show.
+//
 // Findings print with paths relative to the module root regardless of
 // -C or the working directory, so editor jump-to-line works from
-// anywhere. With -json, findings are emitted as a JSON array of
-// {file, line, col, rule, msg, suppressed, reason} objects —
-// suppressed findings included and flagged. With -sarif, findings are
-// emitted as a SARIF 2.1.0 log suitable for GitHub code scanning
-// upload: unsuppressed findings are level=error, suppressed ones are
-// level=note with an inSource suppression carrying the directive's
-// justification.
+// anywhere, and are globally sorted by (file, line, col, rule) in
+// every output mode. With -json, output is an object
+// {"findings": [...], "cache": {...}} where findings carry
+// {file, line, col, rule, msg, suppressed, reason} and cache reports
+// {enabled, hits, misses, fact_builds} — suppressed findings included
+// and flagged. With -sarif, findings are emitted as a SARIF 2.1.0 log
+// suitable for GitHub code scanning upload: unsuppressed findings are
+// level=error, suppressed ones are level=note with an inSource
+// suppression carrying the directive's justification.
 //
 // Exit status is 1 when any unsuppressed finding (or malformed replint
 // directive) is reported, 2 on operational errors.
@@ -31,9 +42,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/analysis"
 )
@@ -53,14 +66,32 @@ type jsonFinding struct {
 	Reason     string `json:"reason,omitempty"`
 }
 
+// cacheStats is the -json wire form of the fact-cache counters.
+type cacheStats struct {
+	Enabled bool `json:"enabled"`
+	Hits    int  `json:"hits"`
+	Misses  int  `json:"misses"`
+	// FactBuilds counts packages whose facts were recomputed this run:
+	// zero on a fully warm cache, len(packages) with the cache disabled.
+	FactBuilds int `json:"fact_builds"`
+}
+
+// jsonOutput is the top-level -json envelope.
+type jsonOutput struct {
+	Findings []jsonFinding `json:"findings"`
+	Cache    cacheStats    `json:"cache"`
+}
+
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("replint", flag.ExitOnError)
 	fs.SetOutput(stderr)
 	rules := fs.Bool("rules", false, "print the rule catalog and exit")
 	verbose := fs.Bool("v", false, "also show suppressed findings and type-check diagnostics")
 	dir := fs.String("C", "", "change to this directory before resolving the module root")
-	asJSON := fs.Bool("json", false, "emit findings as a JSON array (suppressed findings included, flagged)")
+	asJSON := fs.Bool("json", false, "emit a JSON object {findings, cache} (suppressed findings included, flagged)")
 	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log (suppressed findings included as suppressed notes)")
+	cacheDir := fs.String("cache-dir", "", "persist per-package findings keyed by content hash under this directory")
+	noCache := fs.Bool("no-cache", false, "bypass the fact cache even when -cache-dir is set")
 	fs.Parse(argv)
 
 	if *rules {
@@ -98,11 +129,6 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "replint:", err)
 		return 2
 	}
-	mod, err := analysis.BuildModule(loader)
-	if err != nil {
-		fmt.Fprintln(stderr, "replint:", err)
-		return 2
-	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -126,63 +152,153 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return filepath.ToSlash(name)
 	}
 
-	machine := *asJSON || *asSARIF
-	bad := 0
-	var jsonOut []jsonFinding
-	var allFindings []analysis.Finding
-	for _, path := range paths {
-		pkg := mod.Package(path)
-		if pkg == nil {
-			fmt.Fprintf(stderr, "replint: %s: not part of the module\n", path)
+	// Cache lookup phase: resolve each requested package to cached
+	// findings where the content key matches; everything else is
+	// rebuilt below. Key computation parses import clauses only — on a
+	// fully warm cache the module is never loaded or type-checked.
+	var cache *analysis.FactCache
+	var keys map[string]string
+	if *cacheDir != "" && !*noCache {
+		cache, err = analysis.NewFactCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "replint:", err)
 			return 2
 		}
-		if *verbose {
-			for _, terr := range pkg.TypeErrors {
-				fmt.Fprintf(stderr, "replint: typecheck (best-effort): %v\n", terr)
+		keys, err = analysis.PackageKeys(loader, analysis.All(), paths)
+		if err != nil {
+			// Unkeyable tree (e.g. a parse error): fall back to a full
+			// uncached run rather than failing the lint.
+			fmt.Fprintln(stderr, "replint: cache disabled:", err)
+			cache = nil
+		}
+	}
+	results := map[string][]analysis.CachedFinding{}
+	var missed []string
+	for _, path := range paths {
+		if cache != nil {
+			if cfs, ok := cache.Get(path, keys[path]); ok {
+				results[path] = cfs
+				continue
 			}
 		}
-		for _, f := range mod.RunPackage(pkg, analysis.All()) {
-			f.Pos.Filename = relFile(f.Pos.Filename)
-			if *asJSON {
-				jsonOut = append(jsonOut, jsonFinding{
-					File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+		missed = append(missed, path)
+	}
+
+	// Rebuild phase: load the whole module once (the interprocedural
+	// rules need module-wide facts) and analyze the missed packages in
+	// parallel.
+	if len(missed) > 0 {
+		mod, err := analysis.BuildModule(loader)
+		if err != nil {
+			fmt.Fprintln(stderr, "replint:", err)
+			return 2
+		}
+		for _, path := range missed {
+			pkg := mod.Package(path)
+			if pkg == nil {
+				fmt.Fprintf(stderr, "replint: %s: not part of the module\n", path)
+				return 2
+			}
+			if *verbose {
+				for _, terr := range pkg.TypeErrors {
+					fmt.Fprintf(stderr, "replint: typecheck (best-effort): %v\n", terr)
+				}
+			}
+		}
+		for path, fs := range mod.RunPackages(missed, analysis.All(), 0) {
+			cfs := []analysis.CachedFinding{}
+			for _, f := range fs {
+				cfs = append(cfs, analysis.CachedFinding{
+					File: relFile(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column,
 					Rule: f.Rule, Msg: f.Msg,
 					Suppressed: f.Suppressed, Reason: f.Reason,
 				})
 			}
-			if *asSARIF {
-				allFindings = append(allFindings, f)
-			}
-			if f.Suppressed {
-				if !machine && *verbose {
-					fmt.Fprintf(stdout, "%s [suppressed: %s]\n", f, f.Reason)
+			results[path] = cfs
+			if cache != nil {
+				if err := cache.Put(path, keys[path], cfs); err != nil {
+					fmt.Fprintln(stderr, "replint: cache write:", err)
 				}
-				continue
 			}
-			if !machine {
-				fmt.Fprintln(stdout, f)
-			}
-			bad++
 		}
 	}
+
+	// Merge and globally sort: output order is (file, line, col, rule)
+	// regardless of package boundaries, cache hits, or worker schedule.
+	var all []analysis.CachedFinding
+	for _, path := range paths {
+		all = append(all, results[path]...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+
+	stats := cacheStats{Enabled: cache != nil, FactBuilds: len(missed)}
+	if cache != nil {
+		stats.Hits, stats.Misses = cache.Hits(), cache.Misses()
+	}
+
+	machine := *asJSON || *asSARIF
+	bad := 0
+	for _, f := range all {
+		if f.Suppressed {
+			if !machine && *verbose {
+				fmt.Fprintf(stdout, "%s:%d:%d: %s: %s [suppressed: %s]\n",
+					f.File, f.Line, f.Col, f.Rule, f.Msg, f.Reason)
+			}
+			continue
+		}
+		if !machine {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Rule, f.Msg)
+		}
+		bad++
+	}
+
 	if *asJSON {
+		out := jsonOutput{Findings: []jsonFinding{}, Cache: stats}
+		for _, f := range all {
+			out.Findings = append(out.Findings, jsonFinding{
+				File: f.File, Line: f.Line, Col: f.Col,
+				Rule: f.Rule, Msg: f.Msg,
+				Suppressed: f.Suppressed, Reason: f.Reason,
+			})
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if jsonOut == nil {
-			jsonOut = []jsonFinding{}
-		}
-		if err := enc.Encode(jsonOut); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(stderr, "replint:", err)
 			return 2
 		}
 	}
 	if *asSARIF {
+		findings := make([]analysis.Finding, 0, len(all))
+		for _, f := range all {
+			findings = append(findings, analysis.Finding{
+				Pos:  token.Position{Filename: f.File, Line: f.Line, Column: f.Col},
+				Rule: f.Rule, Msg: f.Msg,
+				Suppressed: f.Suppressed, Reason: f.Reason,
+			})
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(sarifReport(analysis.All(), allFindings)); err != nil {
+		if err := enc.Encode(sarifReport(analysis.All(), findings)); err != nil {
 			fmt.Fprintln(stderr, "replint:", err)
 			return 2
 		}
+	}
+	if cache != nil {
+		fmt.Fprintf(stderr, "replint: cache: %d hit(s), %d miss(es), %d fact build(s)\n",
+			stats.Hits, stats.Misses, stats.FactBuilds)
 	}
 	if bad > 0 {
 		fmt.Fprintf(stderr, "replint: %d finding(s)\n", bad)

@@ -96,8 +96,21 @@ func All() []*Analyzer {
 		LockOrder,
 		WGLeak,
 		DeferBal,
+		AliasRace,
+		ArenaEscape,
+		ChanShare,
 	}
 }
+
+// knownRules is the set of valid rule IDs an ignore directive may name:
+// the full catalog plus the reserved directive rule itself.
+var knownRules = func() map[string]bool {
+	m := map[string]bool{directiveRule: true}
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}()
 
 // RunAnalyzers applies the analyzers to one loaded package and returns
 // the findings — directive-suppressed ones included but marked — in

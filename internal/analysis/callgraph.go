@@ -29,7 +29,7 @@ func buildCallGraph(m *Module) *callGraph {
 		callees: map[*types.Func]map[*types.Func]bool{},
 		callers: map[*types.Func]map[*types.Func]bool{},
 	}
-	impls := collectImplementations(m)
+	impls := m.impls
 	for _, f := range m.Funcs {
 		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)

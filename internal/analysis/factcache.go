@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FactVersion names the fact-cache schema and analyzer generation.
+// Bump it whenever rule logic, the points-to layer, or the cached
+// finding format changes in a way that should invalidate every entry.
+const FactVersion = "replint-facts-v1"
+
+// CachedFinding is the serialized form of one finding: positions are
+// module-relative forward-slash paths, so an entry written on one
+// checkout replays byte-identically on another.
+type CachedFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Rule       string `json:"rule"`
+	Msg        string `json:"msg"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// factEntry is the on-disk record for one package.
+type factEntry struct {
+	// Path is the package import path, recorded for debuggability.
+	Path string `json:"path"`
+	// Key is the content key the findings were computed under.
+	Key string `json:"key"`
+	// Findings are the package's findings, suppressed ones included.
+	Findings []CachedFinding `json:"findings"`
+}
+
+// FactCache persists per-package findings keyed by a content hash of
+// the package's sources and its module-local import closure. A hit
+// means the analyzers would recompute exactly what is stored, so the
+// expensive module build can be skipped for that package.
+type FactCache struct {
+	Dir string
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+}
+
+// NewFactCache opens (creating if needed) a cache rooted at dir.
+func NewFactCache(dir string) (*FactCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FactCache{Dir: dir}, nil
+}
+
+// Hits returns the number of successful lookups so far.
+func (c *FactCache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses returns the number of failed lookups so far.
+func (c *FactCache) Misses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// entryFile maps an import path to its cache file. The name hashes the
+// path (import paths contain separators) and keeps a readable suffix.
+func (c *FactCache) entryFile(path string) string {
+	sum := sha256.Sum256([]byte(path))
+	base := filepath.Base(path)
+	if len(base) > 32 {
+		base = base[:32]
+	}
+	return filepath.Join(c.Dir, hex.EncodeToString(sum[:8])+"-"+base+".json")
+}
+
+// Get returns the cached findings for path if an entry exists and was
+// written under the same content key. The bool reports the hit.
+func (c *FactCache) Get(path, key string) ([]CachedFinding, bool) {
+	data, err := os.ReadFile(c.entryFile(path))
+	if err != nil {
+		c.miss()
+		return nil, false
+	}
+	var e factEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.Path != path {
+		c.miss()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	if e.Findings == nil {
+		e.Findings = []CachedFinding{}
+	}
+	return e.Findings, true
+}
+
+func (c *FactCache) miss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// Put stores findings for path under key, atomically (write to a temp
+// file in the same directory, then rename).
+func (c *FactCache) Put(path, key string, findings []CachedFinding) error {
+	if findings == nil {
+		findings = []CachedFinding{}
+	}
+	data, err := json.MarshalIndent(factEntry{Path: path, Key: key, Findings: findings}, "", "  ")
+	if err != nil {
+		return err
+	}
+	dst := c.entryFile(path)
+	tmp, err := os.CreateTemp(c.Dir, ".fact-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), dst)
+}
+
+// factKeyer computes content keys for module packages without loading
+// or type-checking them: it reads the raw sources, parses import
+// clauses only (on its own fileset, so it never pollutes the loader's),
+// and folds in the keys of module-local imports recursively. Because
+// every dependency's key already covers its dependencies, one level of
+// inclusion yields the transitive closure: editing a file changes the
+// key of its package and of every reverse dependency, and of nothing
+// else.
+type factKeyer struct {
+	l     *Loader
+	rules string // sorted rule names, the analyzer-set fingerprint
+	keys  map[string]string
+	state map[string]int // 0 unvisited, 1 in progress, 2 done
+}
+
+func newFactKeyer(l *Loader, analyzers []*Analyzer) *factKeyer {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return &factKeyer{
+		l:     l,
+		rules: strings.Join(names, ","),
+		keys:  map[string]string{},
+		state: map[string]int{},
+	}
+}
+
+// Key returns the content key for the package with the given
+// module-local import path.
+func (k *factKeyer) Key(path string) (string, error) {
+	if k.state[path] == 2 {
+		return k.keys[path], nil
+	}
+	if k.state[path] == 1 {
+		return "", fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	k.state[path] = 1
+
+	dir := filepath.Join(k.l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(path, k.l.ModulePath)))
+	names, err := k.l.sourceFiles(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00", FactVersion, runtime.Version(), k.rules, path)
+	fset := token.NewFileSet()
+	depSet := map[string]bool{}
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(src))
+		h.Write(src)
+		f, err := parser.ParseFile(fset, name, src, parser.ImportsOnly)
+		if err != nil {
+			return "", err
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip == k.l.ModulePath || strings.HasPrefix(ip, k.l.ModulePath+"/") {
+				depSet[ip] = true
+			}
+		}
+	}
+	deps := make([]string, 0, len(depSet))
+	for d := range depSet {
+		deps = append(deps, d)
+	}
+	sort.Strings(deps)
+	for _, d := range deps {
+		dk, err := k.Key(d)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "dep\x00%s\x00%s\x00", d, dk)
+	}
+
+	key := hex.EncodeToString(h.Sum(nil))
+	k.keys[path] = key
+	k.state[path] = 2
+	return key, nil
+}
+
+// PackageKeys computes the content key of every listed module package
+// using the loader's file discovery, without loading the module. The
+// result maps import path to key.
+func PackageKeys(l *Loader, analyzers []*Analyzer, paths []string) (map[string]string, error) {
+	k := newFactKeyer(l, analyzers)
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		key, err := k.Key(p)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = key
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTree materializes a map of relative path → contents under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for rel, src := range files {
+		full := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// cacheModule builds a three-package module (root → mid → leaf) in a
+// temp dir so edits can be applied without touching real fixtures.
+func cacheModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module cachefix\n\ngo 1.22\n",
+		"root.go": "package root\n\nimport \"cachefix/mid\"\n\n" +
+			"// Sum is the root entry point.\nfunc Sum(n int) int { return mid.Twice(n) }\n",
+		"mid/mid.go": "package mid\n\nimport \"cachefix/leaf\"\n\n" +
+			"// Twice doubles via the leaf.\nfunc Twice(n int) int { return leaf.Add(n, n) }\n",
+		"leaf/leaf.go": "package leaf\n\n// Add adds.\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	return dir
+}
+
+func moduleKeys(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := PackageKeys(loader, All(), []string{"cachefix", "cachefix/mid", "cachefix/leaf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+// TestFactKeyStability: recomputing keys over an unchanged tree yields
+// identical keys — the warm-run precondition for zero rebuilds.
+func TestFactKeyStability(t *testing.T) {
+	dir := cacheModule(t)
+	first := moduleKeys(t, dir)
+	second := moduleKeys(t, dir)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("keys unstable over unchanged tree:\nfirst  %v\nsecond %v", first, second)
+	}
+	for p, k := range first {
+		if len(k) != 64 {
+			t.Errorf("key for %s has length %d, want 64 hex chars", p, len(k))
+		}
+	}
+}
+
+// TestFactKeyInvalidation: editing a file changes the key of its
+// package and of every reverse dependency, and of nothing else.
+func TestFactKeyInvalidation(t *testing.T) {
+	dir := cacheModule(t)
+	before := moduleKeys(t, dir)
+
+	// Editing the leaf invalidates the whole chain above it.
+	leaf := filepath.Join(dir, "leaf", "leaf.go")
+	src, err := os.ReadFile(leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(leaf, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after := moduleKeys(t, dir)
+	for _, p := range []string{"cachefix", "cachefix/mid", "cachefix/leaf"} {
+		if before[p] == after[p] {
+			t.Errorf("leaf edit: key of %s did not change", p)
+		}
+	}
+
+	// Editing the root invalidates only the root.
+	base := after
+	root := filepath.Join(dir, "root.go")
+	src, err = os.ReadFile(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(root, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	final := moduleKeys(t, dir)
+	if base["cachefix"] == final["cachefix"] {
+		t.Error("root edit: root key did not change")
+	}
+	for _, p := range []string{"cachefix/mid", "cachefix/leaf"} {
+		if base[p] != final[p] {
+			t.Errorf("root edit: key of %s changed but %s does not depend on the root", p, p)
+		}
+	}
+}
+
+// TestFactCacheRoundTrip: Put then Get replays findings byte-identically
+// under the same key, misses under a different key or unknown path, and
+// the hit/miss counters track each outcome.
+func TestFactCacheRoundTrip(t *testing.T) {
+	cache, err := NewFactCache(filepath.Join(t.TempDir(), "facts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CachedFinding{
+		{File: "a/a.go", Line: 3, Col: 2, Rule: "maprange", Msg: "m"},
+		{File: "a/a.go", Line: 9, Col: 1, Rule: "floatcmp", Msg: "f", Suppressed: true, Reason: "r"},
+	}
+	if err := cache.Put("mod/a", "key1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Get("mod/a", "key1")
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Errorf("Get after Put = %v, %v; want %v, true", got, ok, want)
+	}
+	if _, ok := cache.Get("mod/a", "key2"); ok {
+		t.Error("Get with changed key hit; want miss")
+	}
+	if _, ok := cache.Get("mod/b", "key1"); ok {
+		t.Error("Get of unknown path hit; want miss")
+	}
+	if cache.Hits() != 1 || cache.Misses() != 2 {
+		t.Errorf("counters = %d hits / %d misses, want 1 / 2", cache.Hits(), cache.Misses())
+	}
+
+	// Empty finding sets are cached too: a clean package on a warm run
+	// must count as a hit, not be recomputed forever.
+	if err := cache.Put("mod/clean", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok = cache.Get("mod/clean", "k")
+	if !ok || len(got) != 0 || got == nil {
+		t.Errorf("empty-set entry = %v, %v; want [], true", got, ok)
+	}
+}
+
+// TestFactCacheEndToEnd drives the full warm-run contract at the API
+// level: run the analyzers, Put per package, recompute keys without
+// rebuilding, and require every lookup to hit with identical findings.
+func TestFactCacheEndToEnd(t *testing.T) {
+	dir := cacheModule(t)
+	paths := []string{"cachefix", "cachefix/mid", "cachefix/leaf"}
+
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := PackageKeys(loader, All(), paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := BuildModule(loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewFactCache(filepath.Join(t.TempDir(), "facts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := map[string][]CachedFinding{}
+	for _, p := range paths {
+		var cfs []CachedFinding
+		for _, f := range mod.RunPackage(mod.Package(p), All()) {
+			rel, err := filepath.Rel(dir, f.Pos.Filename)
+			if err != nil {
+				rel = f.Pos.Filename
+			}
+			cfs = append(cfs, CachedFinding{
+				File: filepath.ToSlash(rel), Line: f.Pos.Line, Col: f.Pos.Column,
+				Rule: f.Rule, Msg: f.Msg, Suppressed: f.Suppressed, Reason: f.Reason,
+			})
+		}
+		if err := cache.Put(p, keys[p], cfs); err != nil {
+			t.Fatal(err)
+		}
+		if cfs == nil {
+			cfs = []CachedFinding{}
+		}
+		stored[p] = cfs
+	}
+
+	// Warm run: fresh loader, fresh keyer, no module build.
+	loader2, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys2, err := PackageKeys(loader2, All(), paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		got, ok := cache.Get(p, keys2[p])
+		if !ok {
+			t.Errorf("warm run: %s missed the cache", p)
+			continue
+		}
+		if !reflect.DeepEqual(got, stored[p]) {
+			t.Errorf("warm run: %s replayed %v, want %v", p, got, stored[p])
+		}
+	}
+	if cache.Misses() != 0 {
+		t.Errorf("warm run recorded %d misses, want 0", cache.Misses())
+	}
+}

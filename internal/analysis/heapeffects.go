@@ -1,0 +1,486 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// heapeffects.go turns the points-to solution into per-context heap
+// access summaries: which abstract objects each flow context (function
+// body or function literal body) reads and writes, under which
+// must-held lock sets, and whether the access is atomic. The shared-
+// heap rules consume these summaries instead of re-walking syntax.
+//
+// Accesses are collected per flow context (a literal's accesses belong
+// to the literal, not its encloser), with the must-held lock set at the
+// access point taken from lockorder's forward solver. The transitive
+// view of a context adds its non-launched nested literals and the
+// contexts of everything reachable through the call graph — excluding
+// `go` statements, whose bodies run in a different goroutine and must
+// not be attributed to the caller's.
+
+// heapAccess is one read or write of abstract objects.
+type heapAccess struct {
+	objs   []int // sorted abstract-object ids of the base expression
+	pos    token.Pos
+	write  bool
+	atomic bool
+	held   map[types.Object]bool // must-held locks at the access
+	expr   ast.Expr              // the access expression, for reporting
+	owner  *types.Func           // declared function containing the access
+	pkg    *Package
+	// field names the struct field touched on the base objects; "" for
+	// element/pointee accesses (index, star, copy/append backing). Two
+	// accesses conflict only when their fields match or either is the
+	// whole-storage "".
+	field string
+}
+
+type heapFacts struct {
+	mod *Module
+	// byCtx holds each flow context's own accesses (nested literal
+	// interiors excluded — they have their own entry).
+	byCtx map[*ast.BlockStmt][]heapAccess
+	// ctxCallees lists the module functions a context may call
+	// synchronously (go-statement callees excluded).
+	ctxCallees map[*ast.BlockStmt][]*types.Func
+	// ctxCallHeld maps each context's callees to the intersection of
+	// must-held lock sets across that context's call sites — the locks a
+	// callee can rely on its caller holding ("caller holds mu" helpers).
+	ctxCallHeld map[*ast.BlockStmt]map[*types.Func]map[types.Object]bool
+	// ctxLits lists a context's immediate nested literal bodies that
+	// are not directly launched with `go` in that context.
+	ctxLits map[*ast.BlockStmt][]*ast.BlockStmt
+	// declCtxs lists, per declared function, its body plus every
+	// non-launched literal body (the contexts that run synchronously
+	// with a call of the function).
+	declCtxs map[*types.Func][]*ast.BlockStmt
+}
+
+func buildHeapEffects(m *Module) *heapFacts {
+	h := &heapFacts{
+		mod:         m,
+		byCtx:       map[*ast.BlockStmt][]heapAccess{},
+		ctxCallees:  map[*ast.BlockStmt][]*types.Func{},
+		ctxCallHeld: map[*ast.BlockStmt]map[*types.Func]map[types.Object]bool{},
+		ctxLits:     map[*ast.BlockStmt][]*ast.BlockStmt{},
+		declCtxs:    map[*types.Func][]*ast.BlockStmt{},
+	}
+	for _, f := range m.Funcs {
+		h.buildFunc(f)
+	}
+	return h
+}
+
+func (h *heapFacts) buildFunc(f *ModFunc) {
+	// Literal bodies directly launched with `go` anywhere in the
+	// declaration: their accesses belong to the spawned goroutine.
+	launched := map[*ast.BlockStmt]bool{}
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				launched[lit.Body] = true
+			}
+		}
+		return true
+	})
+
+	for _, ctx := range flowContexts(f.Decl) {
+		h.buildCtx(f, ctx)
+		if ctx.lit == nil || !launched[ctx.body] {
+			h.declCtxs[f.Obj] = append(h.declCtxs[f.Obj], ctx.body)
+		}
+	}
+	// Immediate (non-transitive) nested literals per context.
+	for _, ctx := range flowContexts(f.Decl) {
+		var lits []*ast.BlockStmt
+		inspectChildLits(ctx.body, func(fl *ast.FuncLit) {
+			if !launched[fl.Body] {
+				lits = append(lits, fl.Body)
+			}
+		})
+		h.ctxLits[ctx.body] = lits
+	}
+}
+
+// inspectChildLits visits the immediate function literals of body (not
+// literals nested inside other literals).
+func inspectChildLits(body *ast.BlockStmt, f func(*ast.FuncLit)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			f(fl)
+			return false
+		}
+		return true
+	})
+}
+
+// buildCtx collects one flow context's accesses and synchronous
+// callees, walking its CFG so every access carries lockorder's
+// must-held set.
+func (h *heapFacts) buildCtx(f *ModFunc, ctx flowCtx) {
+	m := h.mod
+	c := m.cfgOf(f.Pkg, ctx.body)
+	in := solveHeldSets(c)
+
+	var accs []heapAccess
+	callees := map[*types.Func]bool{}
+	callHeld := map[*types.Func]map[types.Object]bool{}
+	for _, b := range c.blocks {
+		held := copySet(in[b])
+		for _, n := range b.nodes {
+			h.collectNode(f, n, held, &accs)
+			nodeCallees := map[*types.Func]bool{}
+			h.collectCallees(f.Pkg, n, nodeCallees)
+			for fn := range nodeCallees {
+				callees[fn] = true
+				if prev, ok := callHeld[fn]; ok {
+					callHeld[fn] = intersectSets(prev, held)
+				} else {
+					callHeld[fn] = copySet(held)
+				}
+			}
+			applyLockTransfers(f.Pkg, n, held, nil)
+		}
+	}
+	h.byCtx[ctx.body] = accs
+	h.ctxCallees[ctx.body] = sortedFuncs(callees)
+	h.ctxCallHeld[ctx.body] = callHeld
+}
+
+// collectCallees records module functions called (not go'd) in one CFG
+// node, including interface dispatch targets.
+func (h *heapFacts) collectCallees(pkg *Package, n ast.Node, out map[*types.Func]bool) {
+	var goCall *ast.CallExpr
+	if gs, ok := n.(*ast.GoStmt); ok {
+		goCall = gs.Call
+	}
+	inspectOwned(n, func(inner ast.Node) bool {
+		call, ok := inner.(*ast.CallExpr)
+		if !ok || call == goCall {
+			return true
+		}
+		callee := calleeFunc(pkg, call)
+		if callee == nil {
+			return true
+		}
+		if h.mod.byObj[callee] != nil {
+			out[callee] = true
+			return true
+		}
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			types.IsInterface(sig.Recv().Type()) {
+			for _, impl := range h.mod.impls.resolve(sig.Recv().Type(), callee.Name()) {
+				if h.mod.byObj[impl] != nil {
+					out[impl] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectNode records the heap accesses of one CFG node: writes through
+// selector/index/star l-values (plus copy/append backing-store writes),
+// reads at every selector/index/star/arrow path step, atomic flags on
+// accesses inside sync/atomic call arguments.
+func (h *heapFacts) collectNode(f *ModFunc, n ast.Node, held map[types.Object]bool, out *[]heapAccess) {
+	pa := h.mod.pts
+	pkg := f.Pkg
+
+	// Spans of sync/atomic call arguments: accesses inside are atomic.
+	var atomicSpans []posRange
+	inspectOwned(n, func(inner ast.Node) bool {
+		call, ok := inner.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				atomicSpans = append(atomicSpans, posRange{call.Pos(), call.End()})
+			}
+		}
+		return true
+	})
+	inAtomic := func(pos token.Pos) bool {
+		for _, r := range atomicSpans {
+			if r.from <= pos && pos <= r.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	add := func(e ast.Expr, base ast.Expr, write bool, field string) {
+		node := pa.nodeOfExpr(ast.Unparen(base))
+		if node < 0 {
+			return
+		}
+		// Channel bases are self-synchronizing; the payload flow is
+		// chanshare's concern, not a raw heap access.
+		if tt := pkg.typeOf(ast.Unparen(base)); tt != nil {
+			if _, isChan := tt.Underlying().(*types.Chan); isChan {
+				return
+			}
+		}
+		objs := pa.objectsOf(ast.Unparen(base))
+		// A struct-valued identifier is its own storage: `n := s` copies
+		// the struct, so `n.f = x` mutates n's variable object only —
+		// the copy-source objects the points-to node conflates (value
+		// assignment is modeled as a node copy) are never touched.
+		if id, ok := ast.Unparen(base).(*ast.Ident); ok {
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				obj = pkg.Info.Defs[id]
+			}
+			if v, ok := obj.(*types.Var); ok && v.Type() != nil && directObjType(v.Type()) {
+				if oid, ok := pa.varObjID[v]; ok {
+					objs = []int{oid}
+				}
+			}
+		}
+		if len(objs) == 0 {
+			return
+		}
+		*out = append(*out, heapAccess{
+			objs: objs, pos: e.Pos(), write: write,
+			atomic: inAtomic(e.Pos()),
+			held:   copySet(held),
+			expr:   e, owner: f.Obj, pkg: pkg,
+			field: field,
+		})
+	}
+
+	// Writes: assignment l-values (skip := defines), inc/dec, copy dst,
+	// append arg0 (the shared backing array may be mutated in place).
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		if st.Tok != token.DEFINE {
+			for _, lhs := range st.Lhs {
+				h.writeTarget(f, ast.Unparen(lhs), add)
+			}
+		}
+	case *ast.IncDecStmt:
+		h.writeTarget(f, ast.Unparen(st.X), add)
+	}
+	inspectOwned(n, func(inner ast.Node) bool {
+		call, ok := inner.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "copy":
+					if len(call.Args) == 2 {
+						add(call.Args[0], call.Args[0], true, "")
+					}
+				case "append":
+					if len(call.Args) > 1 {
+						add(call.Args[0], call.Args[0], true, "")
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Reads: every selector/index/star path step with a tracked base.
+	inspectOwned(n, func(inner ast.Node) bool {
+		switch e := inner.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				add(e, e.X, false, e.Sel.Name)
+			}
+		case *ast.IndexExpr:
+			add(e, e.X, false, "")
+		case *ast.StarExpr:
+			add(e, e.X, false, "")
+		}
+		return true
+	})
+}
+
+// writeTarget classifies one l-value and records the write against its
+// base objects. Plain identifiers are variable (stack) writes, not heap
+// accesses — sharedwrite owns those.
+func (h *heapFacts) writeTarget(f *ModFunc, lhs ast.Expr, add func(e, base ast.Expr, write bool, field string)) {
+	switch lv := lhs.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := f.Pkg.Info.Selections[lv]; ok && sel.Kind() == types.FieldVal {
+			add(lv, lv.X, true, lv.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		add(lv, lv.X, true, "")
+	case *ast.StarExpr:
+		add(lv, lv.X, true, "")
+	}
+}
+
+// transAccesses returns every access that may execute synchronously
+// when body runs: its own accesses, its non-launched nested literals',
+// and — through the call graph — those of every reachable module
+// function's synchronous contexts. Each reached function carries an
+// inherited lock set: the intersection, over every call path from
+// body, of the locks held at the call sites — so a "caller holds mu"
+// helper's accesses surface with mu in their held set when every path
+// to the helper really does hold it. Read-only over frozen state, safe
+// for parallel rule runs.
+func (h *heapFacts) transAccesses(body *ast.BlockStmt) []heapAccess {
+	var out []heapAccess
+	seenCtx := map[*ast.BlockStmt]bool{}
+
+	// Fixpoint over reachable functions: inherited[fn] only ever
+	// shrinks (set intersection), so the worklist terminates.
+	inherited := map[*types.Func]map[types.Object]bool{}
+	var work []*types.Func
+	edge := func(fn *types.Func, held map[types.Object]bool) {
+		cur, ok := inherited[fn]
+		if !ok {
+			inherited[fn] = copySet(held)
+			work = append(work, fn)
+			return
+		}
+		next := intersectSets(cur, held)
+		if !sameSet(next, cur) {
+			inherited[fn] = next
+			work = append(work, fn)
+		}
+	}
+
+	var addCtx func(b *ast.BlockStmt)
+	addCtx = func(b *ast.BlockStmt) {
+		if seenCtx[b] {
+			return
+		}
+		seenCtx[b] = true
+		out = append(out, h.byCtx[b]...)
+		for fn, held := range h.ctxCallHeld[b] {
+			edge(fn, held)
+		}
+		for _, lit := range h.ctxLits[b] {
+			addCtx(lit)
+		}
+	}
+	addCtx(body)
+
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		inh := inherited[fn]
+		for _, b := range h.declCtxs[fn] {
+			for fn2, siteHeld := range h.ctxCallHeld[b] {
+				edge(fn2, unionSets(inh, siteHeld))
+			}
+		}
+	}
+
+	// Emit each reached function's accesses with its inherited locks
+	// folded in. Contexts already emitted as roots keep their own sets.
+	fns := make([]*types.Func, 0, len(inherited))
+	for fn := range inherited {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		inh := inherited[fn]
+		for _, b := range h.declCtxs[fn] {
+			if seenCtx[b] {
+				continue
+			}
+			seenCtx[b] = true
+			for _, acc := range h.byCtx[b] {
+				if len(inh) > 0 {
+					acc.held = unionSets(acc.held, inh)
+				}
+				out = append(out, acc)
+			}
+		}
+	}
+	return out
+}
+
+// intersectSets returns a ∩ b as a fresh set.
+func intersectSets(a, b map[types.Object]bool) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for o := range a {
+		if b[o] {
+			out[o] = true
+		}
+	}
+	return out
+}
+
+// unionSets returns a ∪ b as a fresh set (inputs are never mutated —
+// access held sets are shared with the frozen byCtx entries).
+func unionSets(a, b map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(a)+len(b))
+	for o := range a {
+		out[o] = true
+	}
+	for o := range b {
+		out[o] = true
+	}
+	return out
+}
+
+// transSpans returns the body spans of every context contributing to
+// transAccesses(body): the body itself, its non-launched nested
+// literals, and the declaration bodies of every transitively called
+// function. An object allocated inside any of these spans is created
+// within the dynamic extent of one run of body, so two goroutine
+// instances of body allocate distinct concrete objects even though the
+// abstract object is one — per-instance data, not shared state.
+// (The exception — a callee-allocated object escaping to a global or a
+// channel and re-entering another instance — is arenaescape/chanshare
+// territory, not aliasrace's.)
+func (h *heapFacts) transSpans(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	seenCtx := map[*ast.BlockStmt]bool{}
+	roots := map[*types.Func]bool{}
+
+	var addCtx func(b *ast.BlockStmt)
+	addCtx = func(b *ast.BlockStmt) {
+		if seenCtx[b] {
+			return
+		}
+		seenCtx[b] = true
+		out = append(out, posRange{b.Pos(), b.End()})
+		for _, fn := range h.ctxCallees[b] {
+			roots[fn] = true
+		}
+		for _, lit := range h.ctxLits[b] {
+			addCtx(lit)
+		}
+	}
+	addCtx(body)
+
+	seenFn := map[*types.Func]bool{}
+	work := sortedFuncs(roots)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seenFn[fn] {
+			continue
+		}
+		seenFn[fn] = true
+		for _, b := range h.declCtxs[fn] {
+			if !seenCtx[b] {
+				seenCtx[b] = true
+				out = append(out, posRange{b.Pos(), b.End()})
+			}
+			for _, fn2 := range h.ctxCallees[b] {
+				if !seenFn[fn2] {
+					work = append(work, fn2)
+				}
+			}
+		}
+	}
+	return out
+}

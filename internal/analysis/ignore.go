@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"regexp"
+	"strconv"
 	"strings"
 )
 
@@ -134,6 +135,17 @@ func (d *directives) addComment(pkg *Package, c *ast.Comment) {
 		// structurally (floatcmp, collectMetadataFields,
 		// collectGuardedFields).
 		return
+	}
+	// An ignore naming a rule that does not exist would sit silently
+	// forever (typo, or a rule renamed after the directive was written);
+	// report it so stale suppressions cannot rot. The directive still
+	// suppresses its valid rule names.
+	for _, r := range pd.Rules {
+		if !knownRules[r] {
+			d.malformed = append(d.malformed, Finding{Pos: pos, Rule: directiveRule,
+				Msg: "replint directive names unknown rule " + strconv.Quote(r) +
+					"; it will never match a finding (run `replint -rules` for the catalog)"})
+		}
 	}
 	entry := ignoreEntry{rules: pd.Rules, reason: pd.Reason}
 	// A comment with code before it on its line shields that line; a

@@ -3,8 +3,10 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Module is the whole-module analysis context: every package of the
@@ -46,7 +48,16 @@ type Module struct {
 	guardBad map[*Package][]guardIssue
 	noreturn map[*types.Func]bool
 	cfgs     map[*ast.BlockStmt]*cfg
+	cfgMu    sync.Mutex
 	locks    *lockFactsData
+
+	// Alias layer: the named-type index shared between call-graph and
+	// points-to interface resolution, the module-wide Andersen solution,
+	// and the per-context heap-effect summaries the shared-heap rules
+	// (aliasrace, arenaescape, chanshare) consume.
+	impls *implIndex
+	pts   *ptsFacts
+	heap  *heapFacts
 }
 
 // ModFunc is one declared function or method with a body. Function
@@ -88,6 +99,7 @@ func BuildModule(loader *Loader) (*Module, error) {
 	for _, f := range m.Funcs {
 		m.defuse[f.Obj] = buildDefUse(f.Pkg, f.Decl)
 	}
+	m.impls = collectImplementations(m)
 	m.cg = buildCallGraph(m)
 	m.facts = buildStorageFacts(m)
 	m.taint = buildTaint(m)
@@ -96,6 +108,13 @@ func BuildModule(loader *Loader) (*Module, error) {
 	m.noreturn = buildNoReturn(m)
 	m.cfgs = map[*ast.BlockStmt]*cfg{}
 	m.guard, m.guardBad = collectGuardedFields(m)
+	// The alias layer builds eagerly (and last): points-to needs the
+	// call graph and implementation index, the heap-effect summaries
+	// need points-to plus the lock facts. Building here keeps every
+	// module-wide structure read-only by the time RunPackages fans out.
+	m.locks = buildLockFacts(m)
+	m.pts = buildPointsTo(m)
+	m.heap = buildHeapEffects(m)
 	return m, nil
 }
 
@@ -103,6 +122,8 @@ func BuildModule(loader *Loader) (*Module, error) {
 // function-literal body, built with the module's noreturn summaries so
 // fatalf-style wrappers terminate their paths.
 func (m *Module) cfgOf(pkg *Package, body *ast.BlockStmt) *cfg {
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
 	if c, ok := m.cfgs[body]; ok {
 		return c
 	}
@@ -153,6 +174,59 @@ func (m *Module) collectFuncs() {
 // RunAnalyzers does.
 func (m *Module) RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 	return runAnalyzers(m, pkg, analyzers)
+}
+
+// RunPackages analyzes the named packages in parallel, returning the
+// findings keyed by import path. All module-wide summaries are built
+// and frozen by BuildModule, so per-package runs only share read-only
+// state plus the mutex-guarded CFG cache. workers <= 0 means
+// GOMAXPROCS. Unknown paths are silently skipped (the driver validates
+// paths before fact lookup).
+func (m *Module) RunPackages(paths []string, analyzers []*Analyzer, workers int) map[string][]Finding {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Workers hand results back over a buffered channel and the caller
+	// owns the map: no shared writes anywhere. The buffer holds every
+	// result, so workers never block on the send and wg.Wait directly
+	// post-dominates the launches.
+	type result struct {
+		path string
+		fs   []Finding
+	}
+	jobs := make(chan string)
+	results := make(chan result, len(paths))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range jobs {
+				pkg := m.byPath[path]
+				if pkg == nil {
+					continue
+				}
+				results <- result{path, runAnalyzers(m, pkg, analyzers)}
+			}
+		}()
+	}
+	for _, p := range paths {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	out := make(map[string][]Finding, len(paths))
+	for r := range results {
+		out[r.path] = r.fs
+	}
+	return out
 }
 
 // relPath strips the module-path prefix off an import path; the

@@ -1,0 +1,1394 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// pointsto.go is the alias layer: a flow-insensitive, field-sensitive
+// Andersen-style points-to analysis over the whole module. It assigns
+// every pointer-carrying expression a node, every allocation site an
+// abstract object, and solves the subset-constraint system with a
+// worklist plus union-find cycle collapsing. The three shared-heap
+// rules (aliasrace, arenaescape, chanshare) and the heap-effect
+// summaries consume the solution.
+//
+// Model, in brief:
+//
+//   - Abstract objects are allocation sites: make/new, composite
+//     literals, the storage of address-taken or struct/array variables,
+//     package-level variable storage, one object per external call
+//     result, and synthetic objects for append results and variadic
+//     packing. An object whose site sits inside a loop is a *summary*
+//     (it conflates one object per iteration); everything else is a
+//     singleton, which is what lets aliasrace report must-alias races.
+//
+//   - Field sensitivity is by field name; the "" cell of an object
+//     holds its element/pointee content (slice and array elements, map
+//     values, channel payloads, pointer targets). &x.f and &a[i]
+//     conflate to the base object — the pointer is "into o", which
+//     preserves exactly the object identity the race and escape rules
+//     need.
+//
+//   - Calls to module functions (direct, methods, interface calls
+//     resolved through the implementation index, and the bound-literal
+//     launch idiom) bind arguments to parameters and results to the
+//     callee's return nodes, context-insensitively. External calls
+//     yield a fresh extern object per pointer-carrying result and do
+//     not retain their arguments. Calls through arbitrary function
+//     values produce extern results too — the documented soundness
+//     limit shared with the call graph.
+// ptObjKind classifies abstract objects.
+type ptObjKind uint8
+
+const (
+	objMake   ptObjKind = iota // make(...)
+	objNew                     // new(T)
+	objLit                     // composite literal
+	objVar                     // storage of a local/param variable
+	objGlobal                  // storage of a package-level variable
+	objExtern                  // result of an unresolved (external) call
+	objSyn                     // synthetic: append result, variadic slice
+)
+
+// ptObj is one abstract object (allocation site).
+type ptObj struct {
+	id      int
+	kind    ptObjKind
+	pos     token.Pos
+	pkg     *Package
+	typ     types.Type   // static type of the allocated value, best effort
+	varObj  types.Object // for objVar/objGlobal: the variable
+	label   string       // human form for queries and reports
+	summary bool         // site inside a loop: conflates many runtime objects
+}
+
+// ptDeref is one complex constraint endpoint: a load target or store
+// source, applied per object that flows into the constrained node.
+type ptDeref struct {
+	node  int
+	field string
+}
+
+// ptNode is one points-to variable of the constraint graph.
+type ptNode struct {
+	pts    map[int]bool
+	delta  map[int]bool
+	copyTo map[int]bool
+	loads  []ptDeref // dst ⊇ pts(o.field) for each o flowing here
+	stores []ptDeref // pts(o.field) ⊇ src for each o flowing here
+}
+
+type ptCellKey struct {
+	obj   int
+	field string
+}
+
+// ptsFacts is the module-wide points-to solution.
+type ptsFacts struct {
+	mod   *Module
+	objs  []*ptObj
+	nodes []*ptNode
+
+	parent   []int // union-find over nodes
+	varNode  map[types.Object]int
+	cellNode map[ptCellKey]int
+	exprNode map[ast.Expr]int
+	retNodes map[*ast.BlockStmt][]int
+	varObjID map[types.Object]int
+
+	work []int
+
+	// Escape closures, computed once after solving (read-only after).
+	escapedGlobal map[int]bool
+	escapedChan   map[int]bool
+}
+
+func (pa *ptsFacts) newNode() int {
+	id := len(pa.nodes)
+	pa.nodes = append(pa.nodes, &ptNode{
+		pts:    map[int]bool{},
+		delta:  map[int]bool{},
+		copyTo: map[int]bool{},
+	})
+	pa.parent = append(pa.parent, id)
+	return id
+}
+
+func (pa *ptsFacts) find(n int) int {
+	for pa.parent[n] != n {
+		pa.parent[n] = pa.parent[pa.parent[n]]
+		n = pa.parent[n]
+	}
+	return n
+}
+
+// union merges node b into a (both resolved), returning the
+// representative.
+func (pa *ptsFacts) union(a, b int) int {
+	a, b = pa.find(a), pa.find(b)
+	if a == b {
+		return a
+	}
+	na, nb := pa.nodes[a], pa.nodes[b]
+	pa.parent[b] = a
+	for o := range nb.pts {
+		if !na.pts[o] {
+			na.pts[o] = true
+			na.delta[o] = true
+		}
+	}
+	for t := range nb.copyTo {
+		na.copyTo[t] = true
+	}
+	na.loads = append(na.loads, nb.loads...)
+	na.stores = append(na.stores, nb.stores...)
+	pa.nodes[b] = nil
+	if len(na.delta) > 0 {
+		pa.work = append(pa.work, a)
+	}
+	return a
+}
+
+// addObj seeds an object into a node's points-to set.
+func (pa *ptsFacts) addObj(n, obj int) {
+	n = pa.find(n)
+	nd := pa.nodes[n]
+	if !nd.pts[obj] {
+		nd.pts[obj] = true
+		nd.delta[obj] = true
+		pa.work = append(pa.work, n)
+	}
+}
+
+// addCopy installs the subset edge src ⊆ dst and flows src's current
+// set across it.
+func (pa *ptsFacts) addCopy(src, dst int) {
+	src, dst = pa.find(src), pa.find(dst)
+	if src == dst {
+		return
+	}
+	ns := pa.nodes[src]
+	if ns.copyTo[dst] {
+		return
+	}
+	ns.copyTo[dst] = true
+	nd := pa.nodes[dst]
+	grew := false
+	for o := range ns.pts {
+		if !nd.pts[o] {
+			nd.pts[o] = true
+			nd.delta[o] = true
+			grew = true
+		}
+	}
+	if grew {
+		pa.work = append(pa.work, dst)
+	}
+}
+
+// cellOf returns (lazily creating) the node of one object's field cell.
+func (pa *ptsFacts) cellOf(obj int, field string) int {
+	if n, ok := pa.cellNode[ptCellKey{obj, field}]; ok {
+		return pa.find(n)
+	}
+	n := pa.newNode()
+	pa.cellNode[ptCellKey{obj, field}] = n
+	return n
+}
+
+// newObj registers an abstract object.
+func (pa *ptsFacts) newObj(kind ptObjKind, pos token.Pos, pkg *Package, typ types.Type, varObj types.Object, label string, summary bool) int {
+	o := &ptObj{
+		id: len(pa.objs), kind: kind, pos: pos, pkg: pkg,
+		typ: typ, varObj: varObj, label: label, summary: summary,
+	}
+	pa.objs = append(pa.objs, o)
+	return o.id
+}
+
+// solve runs the worklist to fixpoint, collapsing copy cycles before
+// starting and again periodically while the list drains.
+func (pa *ptsFacts) solve() {
+	pa.collapseCycles()
+	processed := 0
+	for len(pa.work) > 0 {
+		n := pa.find(pa.work[len(pa.work)-1])
+		pa.work = pa.work[:len(pa.work)-1]
+		nd := pa.nodes[n]
+		if nd == nil || len(nd.delta) == 0 {
+			continue
+		}
+		delta := nd.delta
+		nd.delta = map[int]bool{}
+		for _, ld := range nd.loads {
+			for o := range delta {
+				pa.addCopy(pa.cellOf(o, ld.field), ld.node)
+			}
+		}
+		for _, st := range nd.stores {
+			for o := range delta {
+				pa.addCopy(st.node, pa.cellOf(o, st.field))
+			}
+		}
+		for t := range nd.copyTo {
+			t = pa.find(t)
+			if t == n {
+				continue
+			}
+			td := pa.nodes[t]
+			grew := false
+			for o := range delta {
+				if !td.pts[o] {
+					td.pts[o] = true
+					td.delta[o] = true
+					grew = true
+				}
+			}
+			if grew {
+				pa.work = append(pa.work, t)
+			}
+		}
+		processed++
+		if processed%8192 == 0 {
+			pa.collapseCycles()
+		}
+	}
+}
+
+// collapseCycles finds strongly connected components of the copy graph
+// (Tarjan, iterative) and unifies each component into one node — nodes
+// on a copy cycle provably share one points-to set.
+func (pa *ptsFacts) collapseCycles() {
+	n := len(pa.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 1
+
+	type frame struct {
+		v     int
+		succs []int
+		i     int
+	}
+	succsOf := func(v int) []int {
+		nd := pa.nodes[v]
+		if nd == nil {
+			return nil
+		}
+		out := make([]int, 0, len(nd.copyTo))
+		for t := range nd.copyTo {
+			out = append(out, pa.find(t))
+		}
+		sort.Ints(out)
+		return out
+	}
+	var sccs [][]int
+	for root := 0; root < n; root++ {
+		if pa.find(root) != root || index[root] != -1 || pa.nodes[root] == nil {
+			continue
+		}
+		frames := []frame{{v: root, succs: succsOf(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if w == f.v {
+					continue
+				}
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succs: succsOf(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					sccs = append(sccs, comp)
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	for _, comp := range sccs {
+		rep := comp[0]
+		for _, w := range comp[1:] {
+			rep = pa.union(rep, w)
+		}
+	}
+}
+
+// pointsToSet returns the resolved object set of a node.
+func (pa *ptsFacts) pointsToSet(n int) map[int]bool {
+	if n < 0 {
+		return nil
+	}
+	return pa.nodes[pa.find(n)].pts
+}
+
+// nodeOfExpr returns the memoized node of an evaluated expression, or
+// -1. It never creates constraints — safe to call after solving.
+func (pa *ptsFacts) nodeOfExpr(e ast.Expr) int {
+	if n, ok := pa.exprNode[e]; ok && n >= 0 {
+		return pa.find(n)
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------
+// Constraint generation.
+
+// posRange is a loop-body span used for the summary classification.
+type posRange struct{ from, to token.Pos }
+
+type ptGen struct {
+	pa    *ptsFacts
+	pkg   *Package
+	fn    *ModFunc
+	loops []posRange
+}
+
+// buildPointsTo generates constraints for every module function and
+// solves. Called from BuildModule after the call graph exists.
+func buildPointsTo(m *Module) *ptsFacts {
+	pa := &ptsFacts{
+		mod:      m,
+		varNode:  map[types.Object]int{},
+		cellNode: map[ptCellKey]int{},
+		exprNode: map[ast.Expr]int{},
+		retNodes: map[*ast.BlockStmt][]int{},
+		varObjID: map[types.Object]int{},
+	}
+	// Package-level variable initializers (`var results = make(...)`)
+	// seed the globals' nodes; without them a channel or map created at
+	// package scope would have no abstract object.
+	for _, pkg := range m.Pkgs {
+		g := &ptGen{pa: pa, pkg: pkg}
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					g.genValueSpec(spec)
+				}
+			}
+		}
+	}
+	for _, f := range m.Funcs {
+		g := &ptGen{pa: pa, pkg: f.Pkg, fn: f}
+		g.collectLoops()
+		g.genFunc()
+	}
+	pa.solve()
+	pa.buildEscapes()
+	return pa
+}
+
+func (g *ptGen) collectLoops() {
+	ast.Inspect(g.fn.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ForStmt:
+			g.loops = append(g.loops, posRange{st.Body.Pos(), st.Body.End()})
+		case *ast.RangeStmt:
+			g.loops = append(g.loops, posRange{st.Body.Pos(), st.Body.End()})
+		}
+		return true
+	})
+}
+
+func (g *ptGen) inLoop(pos token.Pos) bool {
+	for _, r := range g.loops {
+		if r.from <= pos && pos <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// pointerCarrying reports whether values of t can reference heap
+// objects the analysis tracks.
+func pointerCarrying(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Interface, *types.Struct, *types.Array, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// directObjType reports whether a variable of type t is its own
+// storage object (selection applies to the variable, not a pointee).
+func directObjType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}
+
+func (g *ptGen) posLabel(pos token.Pos) string {
+	p := g.pkg.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func (g *ptGen) typeLabel(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// varNodeOf returns the node of a variable, creating it on first use.
+// Struct- and array-typed variables are direct-object variables: their
+// node is seeded with their own storage object so field and index
+// constraints treat them uniformly with pointers.
+func (g *ptGen) varNodeOf(obj types.Object) int {
+	if obj == nil {
+		return -1
+	}
+	if n, ok := g.pa.varNode[obj]; ok {
+		if n < 0 {
+			return -1
+		}
+		return g.pa.find(n)
+	}
+	if _, isVar := obj.(*types.Var); !isVar || !pointerCarrying(obj.Type()) {
+		g.pa.varNode[obj] = -1
+		return -1
+	}
+	n := g.pa.newNode()
+	g.pa.varNode[obj] = n
+	if directObjType(obj.Type()) {
+		g.pa.addObj(n, g.varObjOf(obj))
+	}
+	return n
+}
+
+// varObjOf returns the storage object of a variable (created lazily:
+// direct-object vars get one at first node use, others when their
+// address is taken).
+func (g *ptGen) varObjOf(obj types.Object) int {
+	if id, ok := g.pa.varObjID[obj]; ok {
+		return id
+	}
+	kind := objVar
+	label := "&" + obj.Name()
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		kind = objGlobal
+		label = "&" + v.Pkg().Name() + "." + obj.Name()
+	}
+	summary := kind == objVar && g.inLoop(obj.Pos())
+	id := g.pa.newObj(kind, obj.Pos(), g.pkg, obj.Type(), obj, label, summary)
+	g.pa.varObjID[obj] = id
+	if !directObjType(obj.Type()) {
+		// The "" cell of a non-struct variable's storage IS the
+		// variable: *(&v) and v are the same l-value.
+		if vn := g.varNodeOf(obj); vn >= 0 {
+			g.pa.cellNode[ptCellKey{id, ""}] = vn
+		}
+	}
+	return id
+}
+
+// retNodesOf returns (creating) the result nodes of one function or
+// literal body. Named results share the result variables' nodes, which
+// makes naked returns sound for free.
+func (g *ptGen) retNodesOf(body *ast.BlockStmt, ftype *ast.FuncType) []int {
+	if rets, ok := g.pa.retNodes[body]; ok {
+		return rets
+	}
+	var rets []int
+	if ftype != nil && ftype.Results != nil {
+		for _, fl := range ftype.Results.List {
+			if len(fl.Names) == 0 {
+				rets = append(rets, g.pa.newNode())
+				continue
+			}
+			for _, name := range fl.Names {
+				if obj := g.pkg.Info.Defs[name]; obj != nil {
+					rets = append(rets, g.varNodeOf(obj))
+				} else {
+					rets = append(rets, g.pa.newNode())
+				}
+			}
+		}
+	}
+	g.pa.retNodes[body] = rets
+	return rets
+}
+
+// genFunc walks one declared function, generating constraints for every
+// statement including function-literal interiors (flow-insensitive
+// constraints hold regardless of when a literal runs; returns inside a
+// literal target the literal's own result nodes).
+func (g *ptGen) genFunc() {
+	decl := g.fn.Decl
+	declRets := g.retNodesOf(decl.Body, decl.Type)
+
+	// Innermost-literal resolution for return statements.
+	var lits []*ast.FuncLit
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, fl)
+			g.retNodesOf(fl.Body, fl.Type)
+		}
+		return true
+	})
+	retCtx := func(pos token.Pos) []int {
+		var best *ast.FuncLit
+		for _, fl := range lits {
+			if fl.Body.Pos() <= pos && pos <= fl.Body.End() {
+				if best == nil || fl.Body.Pos() > best.Body.Pos() {
+					best = fl
+				}
+			}
+		}
+		if best != nil {
+			return g.pa.retNodes[best.Body]
+		}
+		return declRets
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			g.genAssign(st)
+		case *ast.DeclStmt:
+			g.genVarDecl(st)
+		case *ast.SendStmt:
+			if ch, v := g.expr(st.Chan), g.expr(st.Value); ch >= 0 && v >= 0 {
+				g.store(ch, "", v)
+			}
+		case *ast.RangeStmt:
+			g.genRange(st)
+		case *ast.ReturnStmt:
+			g.genReturn(st, retCtx(st.Pos()))
+		case *ast.TypeSwitchStmt:
+			g.genTypeSwitch(st)
+		case *ast.CallExpr:
+			g.expr(st)
+		case *ast.UnaryExpr:
+			g.expr(st)
+		case *ast.CompositeLit:
+			g.expr(st)
+		}
+		return true
+	})
+}
+
+func (g *ptGen) genAssign(st *ast.AssignStmt) {
+	// Multi-value RHS: x, y := f() / m[k] / <-ch / v.(T).
+	if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+			rets := g.callRets(call)
+			for i, lhs := range st.Lhs {
+				if i < len(rets) && rets[i] >= 0 {
+					g.assignTo(lhs, rets[i])
+				}
+			}
+			return
+		}
+		// v, ok forms: only the first target carries a value.
+		if v := g.expr(st.Rhs[0]); v >= 0 {
+			g.assignTo(st.Lhs[0], v)
+		}
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		if v := g.expr(st.Rhs[i]); v >= 0 {
+			g.assignTo(lhs, v)
+		} else {
+			g.expr(st.Lhs[i]) // still evaluate for the memo (write bases)
+		}
+	}
+}
+
+func (g *ptGen) genVarDecl(st *ast.DeclStmt) {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		g.genValueSpec(spec)
+	}
+}
+
+func (g *ptGen) genValueSpec(spec ast.Spec) {
+	vs, ok := spec.(*ast.ValueSpec)
+	if !ok {
+		return
+	}
+	for i, name := range vs.Names {
+		obj := g.pkg.Info.Defs[name]
+		if obj == nil || i >= len(vs.Values) {
+			continue
+		}
+		if v := g.expr(vs.Values[i]); v >= 0 {
+			if t := g.varNodeOf(obj); t >= 0 {
+				g.pa.addCopy(v, t)
+			}
+		}
+	}
+}
+
+func (g *ptGen) genRange(st *ast.RangeStmt) {
+	base := g.expr(st.X)
+	if base < 0 {
+		return
+	}
+	bind := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := g.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = g.pkg.Info.Uses[id]
+		}
+		t := g.varNodeOf(obj)
+		if t < 0 {
+			return
+		}
+		g.load(t, base, "")
+	}
+	// Keys of maps and channels are not modeled; the value binding gets
+	// the element cell. Ranging a channel binds the key slot.
+	if tt := g.pkg.typeOf(st.X); tt != nil {
+		if _, isChan := tt.Underlying().(*types.Chan); isChan {
+			bind(st.Key)
+			return
+		}
+	}
+	bind(st.Value)
+}
+
+func (g *ptGen) genReturn(st *ast.ReturnStmt, rets []int) {
+	if len(st.Results) == 0 {
+		return
+	}
+	if len(st.Results) == 1 && len(rets) > 1 {
+		if call, ok := ast.Unparen(st.Results[0]).(*ast.CallExpr); ok {
+			crets := g.callRets(call)
+			for i := range rets {
+				if i < len(crets) && crets[i] >= 0 && rets[i] >= 0 {
+					g.pa.addCopy(crets[i], rets[i])
+				}
+			}
+			return
+		}
+	}
+	for i, r := range st.Results {
+		if i >= len(rets) || rets[i] < 0 {
+			continue
+		}
+		if v := g.expr(r); v >= 0 {
+			g.pa.addCopy(v, rets[i])
+		}
+	}
+}
+
+func (g *ptGen) genTypeSwitch(st *ast.TypeSwitchStmt) {
+	// x := y.(type): each clause's implicit object copies from y.
+	var src ast.Expr
+	if as, ok := st.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if ta, ok := ast.Unparen(as.Rhs[0]).(*ast.TypeAssertExpr); ok {
+			src = ta.X
+		}
+	} else if es, ok := st.Assign.(*ast.ExprStmt); ok {
+		if ta, ok := ast.Unparen(es.X).(*ast.TypeAssertExpr); ok {
+			src = ta.X
+		}
+	}
+	if src == nil {
+		return
+	}
+	v := g.expr(src)
+	if v < 0 {
+		return
+	}
+	for _, cl := range st.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if obj := g.pkg.Info.Implicits[cc]; obj != nil {
+			if t := g.varNodeOf(obj); t >= 0 {
+				g.pa.addCopy(v, t)
+			}
+		}
+	}
+}
+
+// assignTo routes a value node into an l-value.
+func (g *ptGen) assignTo(lhs ast.Expr, v int) {
+	lhs = ast.Unparen(lhs)
+	switch lv := lhs.(type) {
+	case *ast.Ident:
+		if lv.Name == "_" {
+			return
+		}
+		obj := g.pkg.Info.Defs[lv]
+		if obj == nil {
+			obj = g.pkg.Info.Uses[lv]
+		}
+		if t := g.varNodeOf(obj); t >= 0 {
+			g.pa.addCopy(v, t)
+		}
+	case *ast.SelectorExpr:
+		// Qualified package var?
+		if obj, ok := g.pkg.Info.Uses[lv.Sel].(*types.Var); ok {
+			if sel, isSel := g.pkg.Info.Selections[lv]; !isSel || sel == nil {
+				if t := g.varNodeOf(obj); t >= 0 {
+					g.pa.addCopy(v, t)
+				}
+				return
+			}
+		}
+		if base := g.expr(lv.X); base >= 0 {
+			g.store(base, lv.Sel.Name, v)
+		}
+	case *ast.IndexExpr:
+		if base := g.expr(lv.X); base >= 0 {
+			g.store(base, "", v)
+		}
+	case *ast.StarExpr:
+		base := g.expr(lv.X)
+		if base < 0 {
+			return
+		}
+		if tt := g.pkg.typeOf(lhs); directObjType(tt) {
+			// *p for struct pointee: p's objects are the struct storage;
+			// whole-struct assignment conflates into the elem cell.
+			g.store(base, "", v)
+			return
+		}
+		g.store(base, "", v)
+	}
+}
+
+// load installs dst ⊇ (o.field) for each o in pts(src).
+func (g *ptGen) load(dst, src int, field string) {
+	src = g.pa.find(src)
+	nd := g.pa.nodes[src]
+	nd.loads = append(nd.loads, ptDeref{node: dst, field: field})
+	for o := range nd.pts {
+		g.pa.addCopy(g.pa.cellOf(o, field), dst)
+	}
+}
+
+// store installs (o.field) ⊇ src for each o in pts(dst).
+func (g *ptGen) store(dst int, field string, src int) {
+	dst = g.pa.find(dst)
+	nd := g.pa.nodes[dst]
+	nd.stores = append(nd.stores, ptDeref{node: src, field: field})
+	for o := range nd.pts {
+		g.pa.addCopy(src, g.pa.cellOf(o, field))
+	}
+}
+
+// expr evaluates one expression to its node, generating constraints and
+// memoizing the result (also consulted post-solve by the heap rules).
+func (g *ptGen) expr(e ast.Expr) int {
+	if e == nil {
+		return -1
+	}
+	if n, ok := g.pa.exprNode[e]; ok {
+		return n
+	}
+	n := g.exprUncached(e)
+	g.pa.exprNode[e] = n
+	return n
+}
+
+func (g *ptGen) exprUncached(e ast.Expr) int {
+	switch ex := e.(type) {
+	case *ast.ParenExpr:
+		return g.expr(ex.X)
+	case *ast.Ident:
+		obj := g.pkg.Info.Uses[ex]
+		if obj == nil {
+			obj = g.pkg.Info.Defs[ex]
+		}
+		return g.varNodeOf(obj)
+	case *ast.SelectorExpr:
+		if sel, ok := g.pkg.Info.Selections[ex]; ok && sel.Kind() == types.FieldVal {
+			base := g.expr(ex.X)
+			if base < 0 {
+				return -1
+			}
+			if !pointerCarrying(sel.Obj().Type()) {
+				return -1
+			}
+			n := g.pa.newNode()
+			g.load(n, base, ex.Sel.Name)
+			return n
+		}
+		// Qualified identifier (pkg.Var) or method value.
+		if obj, ok := g.pkg.Info.Uses[ex.Sel].(*types.Var); ok {
+			return g.varNodeOf(obj)
+		}
+		return -1
+	case *ast.StarExpr:
+		base := g.expr(ex.X)
+		if base < 0 {
+			return -1
+		}
+		if directObjType(g.pkg.typeOf(e)) {
+			// Dereferencing a struct/array pointer yields the storage
+			// itself: selections on *p and on p hit the same objects.
+			return base
+		}
+		n := g.pa.newNode()
+		g.load(n, base, "")
+		return n
+	case *ast.UnaryExpr:
+		switch ex.Op {
+		case token.AND:
+			return g.addrOf(ex.X)
+		case token.ARROW:
+			base := g.expr(ex.X)
+			if base < 0 {
+				return -1
+			}
+			n := g.pa.newNode()
+			g.load(n, base, "")
+			return n
+		}
+		return -1
+	case *ast.IndexExpr:
+		// Generic instantiation shows up as IndexExpr on a function.
+		if tv, ok := g.pkg.Info.Types[ex.X]; ok {
+			if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+				return -1
+			}
+		}
+		base := g.expr(ex.X)
+		if base < 0 {
+			return -1
+		}
+		if !pointerCarrying(g.pkg.typeOf(e)) {
+			return -1
+		}
+		n := g.pa.newNode()
+		g.load(n, base, "")
+		return n
+	case *ast.SliceExpr:
+		return g.expr(ex.X) // same backing store
+	case *ast.TypeAssertExpr:
+		return g.expr(ex.X)
+	case *ast.CompositeLit:
+		return g.compositeLit(ex)
+	case *ast.CallExpr:
+		rets := g.callRets(ex)
+		if len(rets) > 0 {
+			return rets[0]
+		}
+		return -1
+	case *ast.BinaryExpr, *ast.BasicLit, *ast.FuncLit, *ast.KeyValueExpr:
+		return -1
+	}
+	return -1
+}
+
+// addrOf evaluates &x. For variables it materializes the variable's
+// storage object; for field/index paths it conflates to the base object
+// (a pointer "into o" keeps o's identity, which is what the heap rules
+// need; the field distinction is dropped — documented imprecision).
+func (g *ptGen) addrOf(x ast.Expr) int {
+	x = ast.Unparen(x)
+	switch xv := x.(type) {
+	case *ast.Ident:
+		obj := g.pkg.Info.Uses[xv]
+		if obj == nil {
+			obj = g.pkg.Info.Defs[xv]
+		}
+		if obj == nil {
+			return -1
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return -1
+		}
+		g.varNodeOf(obj) // ensure the node (and cell unification) exists
+		n := g.pa.newNode()
+		g.pa.addObj(n, g.varObjOf(obj))
+		return n
+	case *ast.CompositeLit:
+		return g.compositeLit(xv)
+	case *ast.SelectorExpr:
+		if sel, ok := g.pkg.Info.Selections[xv]; ok && sel.Kind() == types.FieldVal {
+			return g.expr(xv.X)
+		}
+		return g.expr(x)
+	case *ast.IndexExpr:
+		return g.expr(xv.X)
+	case *ast.StarExpr:
+		return g.expr(xv.X)
+	}
+	return g.expr(x)
+}
+
+func (g *ptGen) compositeLit(lit *ast.CompositeLit) int {
+	t := g.pkg.typeOf(lit)
+	summary := g.inLoop(lit.Pos())
+	obj := g.pa.newObj(objLit, lit.Pos(), g.pkg, t,
+		nil, g.typeLabel(t)+"{}", summary)
+	n := g.pa.newNode()
+	g.pa.addObj(n, obj)
+	// Element/field stores.
+	var structT *types.Struct
+	if t != nil {
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			structT = st
+		}
+	}
+	for i, el := range lit.Elts {
+		switch ev := el.(type) {
+		case *ast.KeyValueExpr:
+			field := ""
+			if id, ok := ev.Key.(*ast.Ident); ok && structT != nil {
+				field = id.Name
+			}
+			if v := g.expr(ev.Value); v >= 0 {
+				g.pa.addCopy(v, g.pa.cellOf(obj, field))
+			}
+		default:
+			field := ""
+			if structT != nil && i < structT.NumFields() {
+				field = structT.Field(i).Name()
+			}
+			if v := g.expr(el); v >= 0 {
+				g.pa.addCopy(v, g.pa.cellOf(obj, field))
+			}
+		}
+	}
+	return n
+}
+
+// callRets evaluates a call, binds module callees, and returns the
+// per-result nodes (empty when nothing pointer-carrying comes back).
+func (g *ptGen) callRets(call *ast.CallExpr) []int {
+	// Conversions pass the value through.
+	if tv, ok := g.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []int{g.expr(call.Args[0])}
+		}
+		return nil
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := g.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return g.builtinCall(id.Name, call)
+		}
+	}
+	// Evaluate arguments once, for the memo and for binding.
+	argNodes := make([]int, len(call.Args))
+	for i, a := range call.Args {
+		argNodes[i] = g.expr(a)
+	}
+
+	callee := calleeFunc(g.pkg, call)
+	if callee != nil {
+		if mf := g.pa.mod.byObj[callee]; mf != nil {
+			var recv ast.Expr
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+					recv = sel.X
+				}
+			}
+			return g.bindModCall(call, argNodes, mf, recv)
+		}
+		// Interface dispatch: bind every module implementation.
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			types.IsInterface(sig.Recv().Type()) {
+			var rets []int
+			for _, impl := range g.pa.mod.impls.resolve(sig.Recv().Type(), callee.Name()) {
+				if mf := g.pa.mod.byObj[impl]; mf != nil {
+					var recv ast.Expr
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						recv = sel.X
+					}
+					r := g.bindModCall(call, argNodes, mf, recv)
+					rets = mergeRets(g.pa, rets, r)
+				}
+			}
+			if len(rets) > 0 {
+				return rets
+			}
+		}
+		return g.externCall(call, callee.Name())
+	}
+	// Direct or bound function literal (only meaningful inside a
+	// declared function; package-level initializers have no fn).
+	if g.fn != nil {
+		if lit := launchedLiteral(g.pkg, g.fn.Decl, call); lit != nil {
+			return g.bindLitCall(call, argNodes, lit)
+		}
+	}
+	name := "func"
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		name = id.Name
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name = sel.Sel.Name
+	}
+	return g.externCall(call, name)
+}
+
+func mergeRets(pa *ptsFacts, dst, src []int) []int {
+	for i, s := range src {
+		if s < 0 {
+			continue
+		}
+		if i >= len(dst) {
+			for len(dst) <= i {
+				dst = append(dst, pa.newNode())
+			}
+		}
+		pa.addCopy(s, dst[i])
+	}
+	return dst
+}
+
+func (g *ptGen) builtinCall(name string, call *ast.CallExpr) []int {
+	switch name {
+	case "new":
+		t := g.pkg.typeOf(call)
+		var elem types.Type
+		if p, ok := t.(*types.Pointer); ok {
+			elem = p.Elem()
+		}
+		obj := g.pa.newObj(objNew, call.Pos(), g.pkg, elem,
+			nil, "new("+g.typeLabel(elem)+")", g.inLoop(call.Pos()))
+		n := g.pa.newNode()
+		g.pa.addObj(n, obj)
+		return []int{n}
+	case "make":
+		t := g.pkg.typeOf(call)
+		obj := g.pa.newObj(objMake, call.Pos(), g.pkg, t,
+			nil, "make("+g.typeLabel(t)+")", g.inLoop(call.Pos()))
+		n := g.pa.newNode()
+		g.pa.addObj(n, obj)
+		return []int{n}
+	case "append":
+		if len(call.Args) == 0 {
+			return nil
+		}
+		n := g.pa.newNode()
+		if s := g.expr(call.Args[0]); s >= 0 {
+			g.pa.addCopy(s, n) // result may alias the old backing array
+		}
+		obj := g.pa.newObj(objSyn, call.Pos(), g.pkg, g.pkg.typeOf(call),
+			nil, "append@"+g.posLabel(call.Pos()), g.inLoop(call.Pos()))
+		g.pa.addObj(n, obj)
+		for _, a := range call.Args[1:] {
+			if v := g.expr(a); v >= 0 {
+				g.store(n, "", v)
+			}
+		}
+		return []int{n}
+	case "copy":
+		if len(call.Args) == 2 {
+			dst, src := g.expr(call.Args[0]), g.expr(call.Args[1])
+			if dst >= 0 && src >= 0 {
+				tmp := g.pa.newNode()
+				g.load(tmp, src, "")
+				g.store(dst, "", tmp)
+			}
+		}
+		return nil
+	case "min", "max":
+		var rets []int
+		for _, a := range call.Args {
+			rets = mergeRets(g.pa, rets, []int{g.expr(a)})
+		}
+		return rets
+	}
+	// len/cap/close/delete/clear/panic/print...: evaluate args for the
+	// memo, no result flow.
+	for _, a := range call.Args {
+		g.expr(a)
+	}
+	return nil
+}
+
+// bindModCall binds one resolved module call: receiver, parameters
+// (variadic packing included), and result nodes.
+func (g *ptGen) bindModCall(call *ast.CallExpr, argNodes []int, mf *ModFunc, recvExpr ast.Expr) []int {
+	cg := &ptGen{pa: g.pa, pkg: mf.Pkg, fn: mf}
+	recvObj, params := signatureObjects(mf)
+	if recvExpr != nil && recvObj != nil {
+		if rn := g.expr(recvExpr); rn >= 0 {
+			if t := cg.varNodeOf(recvObj); t >= 0 {
+				g.pa.addCopy(rn, t)
+			}
+		}
+	}
+	sig, _ := mf.Obj.Type().(*types.Signature)
+	variadic := sig != nil && sig.Variadic()
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		t := cg.varNodeOf(p)
+		if t < 0 {
+			continue
+		}
+		if variadic && i == len(params)-1 && !call.Ellipsis.IsValid() {
+			// Pack the extra args into a synthetic slice object.
+			obj := g.pa.newObj(objSyn, call.Pos(), g.pkg, p.Type(),
+				nil, "variadic@"+g.posLabel(call.Pos()), g.inLoop(call.Pos()))
+			for j := i; j < len(argNodes); j++ {
+				if argNodes[j] >= 0 {
+					g.pa.addCopy(argNodes[j], g.pa.cellOf(obj, ""))
+				}
+			}
+			pn := g.pa.newNode()
+			g.pa.addObj(pn, obj)
+			g.pa.addCopy(pn, t)
+			continue
+		}
+		if i < len(argNodes) && argNodes[i] >= 0 {
+			g.pa.addCopy(argNodes[i], t)
+		}
+	}
+	return append([]int(nil), cg.retNodesOf(mf.Decl.Body, mf.Decl.Type)...)
+}
+
+// bindLitCall binds a call of a function literal written in place or
+// bound to a local (the launch idiom wgleak resolves).
+func (g *ptGen) bindLitCall(call *ast.CallExpr, argNodes []int, lit *ast.FuncLit) []int {
+	i := 0
+	if lit.Type.Params != nil {
+		for _, fl := range lit.Type.Params.List {
+			for _, name := range fl.Names {
+				if obj := g.pkg.Info.Defs[name]; obj != nil {
+					if t := g.varNodeOf(obj); t >= 0 && i < len(argNodes) && argNodes[i] >= 0 {
+						g.pa.addCopy(argNodes[i], t)
+					}
+				}
+				i++
+			}
+		}
+	}
+	return append([]int(nil), g.retNodesOf(lit.Body, lit.Type)...)
+}
+
+// externCall models an unresolved callee: one extern object per
+// pointer-carrying result, arguments not retained.
+func (g *ptGen) externCall(call *ast.CallExpr, name string) []int {
+	var results []types.Type
+	if tv, ok := g.pkg.Info.Types[call]; ok && tv.Type != nil {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				results = append(results, tup.At(i).Type())
+			}
+		} else {
+			results = append(results, tv.Type)
+		}
+	}
+	rets := make([]int, len(results))
+	for i, rt := range results {
+		rets[i] = -1
+		if !pointerCarrying(rt) {
+			continue
+		}
+		obj := g.pa.newObj(objExtern, call.Pos(), g.pkg, rt,
+			nil, "extern:"+name, g.inLoop(call.Pos()))
+		n := g.pa.newNode()
+		g.pa.addObj(n, obj)
+		rets[i] = n
+	}
+	return rets
+}
+
+// ---------------------------------------------------------------------
+// Escape closures and queries.
+
+// reachFrom closes a seed object set over field cells: everything a
+// holder of those objects can reach by selection/indexing.
+func (pa *ptsFacts) reachFrom(seed map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	var stack []int
+	for o := range seed {
+		out[o] = true
+		stack = append(stack, o)
+	}
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for key, n := range pa.cellNode {
+			if key.obj != o {
+				continue
+			}
+			for t := range pa.pointsToSet(n) {
+				if !out[t] {
+					out[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// buildEscapes computes the module-wide escape sets: objects reachable
+// from package-level variables, and objects reachable through channel
+// payload cells. Built once after solving; read-only afterwards.
+func (pa *ptsFacts) buildEscapes() {
+	globals := map[int]bool{}
+	for obj, id := range pa.varObjID {
+		if pa.objs[id].kind == objGlobal {
+			globals[id] = true
+		}
+		_ = obj
+	}
+	for obj, n := range pa.varNode {
+		if n < 0 {
+			continue
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			for o := range pa.pointsToSet(n) {
+				globals[o] = true
+			}
+		}
+	}
+	pa.escapedGlobal = pa.reachFrom(globals)
+
+	chans := map[int]bool{}
+	for _, o := range pa.objs {
+		if o.typ == nil {
+			continue
+		}
+		if _, isChan := o.typ.Underlying().(*types.Chan); !isChan {
+			continue
+		}
+		for t := range pa.pointsToSet(pa.cellOf(o.id, "")) {
+			chans[t] = true
+		}
+	}
+	pa.escapedChan = pa.reachFrom(chans)
+}
+
+// objectsOf returns the sorted object ids an expression may point to.
+func (pa *ptsFacts) objectsOf(e ast.Expr) []int {
+	n := pa.nodeOfExpr(e)
+	if n < 0 {
+		return nil
+	}
+	var out []int
+	for o := range pa.pointsToSet(n) {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PointsTo is the debug query hook: it returns the sorted labels
+// ("kind@file:line") of the abstract objects the named variable of the
+// named function may point to. funcName matches the declared name
+// (methods by bare name); varName matches a parameter or local. Used by
+// the points-to fixture tests and handy under a debugger.
+func (m *Module) PointsTo(pkgPath, funcName, varName string) []string {
+	pa := m.pts
+	if pa == nil {
+		return nil
+	}
+	pkg := m.byPath[pkgPath]
+	if pkg == nil {
+		return nil
+	}
+	for _, f := range m.funcsInPackage(pkg) {
+		if f.Decl.Name.Name != funcName {
+			continue
+		}
+		var found types.Object
+		ast.Inspect(f.Decl, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name != varName {
+				return true
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					found = obj
+				}
+			}
+			return true
+		})
+		if found == nil {
+			continue
+		}
+		n, ok := pa.varNode[found]
+		if !ok || n < 0 {
+			return nil
+		}
+		seen := map[string]bool{}
+		var out []string
+		for o := range pa.pointsToSet(pa.find(n)) {
+			obj := pa.objs[o]
+			label := obj.label
+			if obj.kind != objGlobal && obj.kind != objVar && obj.kind != objExtern {
+				p := pkg.Fset.Position(obj.pos)
+				label = fmt.Sprintf("%s@%s:%d", obj.label, filepath.Base(p.Filename), p.Line)
+			}
+			if !seen[label] {
+				seen[label] = true
+				out = append(out, label)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	return nil
+}

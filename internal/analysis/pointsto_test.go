@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestPointsToFixture loads the dedicated ptsfixture module and asserts
+// the solved points-to sets of named locals through the Module.PointsTo
+// debug query: assignment chains, interface dispatch through a slice of
+// implementations, channel send/receive, closure capture via a bound
+// literal, map element flow across a function boundary, per-site extern
+// objects, and field-sensitive stores.
+func TestPointsToFixture(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "ptsfixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := BuildModule(loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := mod.Package("ptsfixture")
+	if pkg == nil {
+		t.Fatal("ptsfixture package missing")
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("ptsfixture does not type-check: %v", pkg.TypeErrors)
+	}
+
+	cases := []struct {
+		fn, v string
+		want  []string
+	}{
+		// Assignment chain: c still points at the origin literal.
+		{"chain", "c", []string{"pts.node{}@pts.go:26"}},
+		// new(T) object.
+		{"fresh", "p", []string{"new(pts.node)@pts.go:34"}},
+		// Slice element flow + interface value: both implementations.
+		{"dispatch", "s", []string{"pts.circle{}@pts.go:41", "pts.square{}@pts.go:41"}},
+		// Channel send → receive.
+		{"channels", "got", []string{"pts.node{}@pts.go:52"}},
+		// Closure capture through a bound literal call.
+		{"capture", "kept", []string{"pts.node{}@pts.go:62"}},
+		// Map element flow across buildMap's return.
+		{"readMap", "v", []string{"pts.node{}@pts.go:69"}},
+		{"readMap", "m", []string{"make(map[string]*pts.node)@pts.go:68"}},
+		// Extern object for the unresolved stdlib callee.
+		{"external", "err", []string{"extern:New"}},
+		// Field-sensitive store: n sees tail, not head.
+		{"fields", "n", []string{"pts.node{}@pts.go:88"}},
+	}
+	for _, tc := range cases {
+		got := mod.PointsTo("ptsfixture", tc.fn, tc.v)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("PointsTo(%s, %s) = %v, want %v", tc.fn, tc.v, got, tc.want)
+		}
+	}
+
+	// The query hook returns nil, not garbage, for unknown names.
+	if got := mod.PointsTo("ptsfixture", "nosuch", "x"); got != nil {
+		t.Errorf("PointsTo on unknown function = %v, want nil", got)
+	}
+	if got := mod.PointsTo("nosuchpkg", "chain", "c"); got != nil {
+		t.Errorf("PointsTo on unknown package = %v, want nil", got)
+	}
+}

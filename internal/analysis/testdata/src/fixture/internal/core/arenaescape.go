@@ -1,0 +1,81 @@
+// Fixture for the arenaescape rule: a pooled value that is released
+// AND remains reachable from outside the Get/Put extent — a global, a
+// channel payload, a return value — will be recycled under a live
+// alias. scratchleak (same package, scratchleak.go) owns the
+// missing-release cases; every function here releases properly, which
+// is exactly why the syntactic rule is blind to them.
+package core
+
+import "sync"
+
+type arena struct{ buf []float64 }
+
+var arenaPool sync.Pool
+
+// leaked is the global the escape cases store into.
+var leaked *arena
+
+// arenaCh carries arena snapshots to a consumer.
+var arenaCh = make(chan *arena, 1)
+
+// globalEscape stores the pooled value into a package-level variable
+// and then releases it: the next Get hands the same storage to another
+// caller while `leaked` still points at it.
+func globalEscape() {
+	a := arenaPool.Get().(*arena) // want arenaescape
+	leaked = a
+	arenaPool.Put(a)
+}
+
+// chanEscape sends the pooled value away and then recycles it: the
+// receiver reads storage the pool has already handed out again.
+func chanEscape() {
+	a := arenaPool.Get().(*arena) // want arenaescape
+	arenaCh <- a
+	arenaPool.Put(a)
+}
+
+// returnEscape recycles the value and returns it anyway.
+func returnEscape() *arena {
+	a := arenaPool.Get().(*arena) // want arenaescape
+	arenaPool.Put(a)
+	return a
+}
+
+// publish is the helper the interprocedural case escapes through: the
+// store into the global happens one call away from the acquisition,
+// carried back by Andersen's argument-to-parameter binding.
+func publish(a *arena) {
+	leaked = a
+}
+
+// indirectEscape never mentions a global and never returns the value —
+// the escape lives entirely inside publish.
+func indirectEscape() {
+	a := arenaPool.Get().(*arena) // want arenaescape
+	publish(a)
+	arenaPool.Put(a)
+}
+
+// localUse is the healthy extent: acquire, work, release, nothing
+// reachable afterwards.
+func localUse(xs []float64) float64 {
+	a := arenaPool.Get().(*arena)
+	defer arenaPool.Put(a)
+	a.buf = a.buf[:0]
+	a.buf = append(a.buf, xs...)
+	total := 0.0
+	for _, v := range a.buf {
+		total += v
+	}
+	return total
+}
+
+// snapshotOut hands the pooled value to the caller under a documented
+// protocol; the suppression carries the reasoning.
+func snapshotOut() *arena {
+	//replint:ignore arenaescape -- fixture: caller owns the snapshot until it calls releaseSnapshot, which is the pool's Put
+	s := arenaPool.Get().(*arena) // wantsuppressed arenaescape
+	defer arenaPool.Put(s)
+	return s
+}

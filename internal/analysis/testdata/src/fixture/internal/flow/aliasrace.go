@@ -1,0 +1,113 @@
+// Fixture for the aliasrace rule, the points-to-based sibling of
+// sharedwrite/shardwrite. The headline case is the one the syntactic
+// rules provably miss: each worker writes through a parameter that
+// LOOKS like a private slice, but every entry of the shard table
+// aliases the same backing array through a second name — no captured
+// identifier is ever written, and the one visible index step is keyed
+// by the worker id, so shardwrite blesses it. Only the object identity
+// knows better.
+package flow
+
+// aliasedShards builds a shard table whose entries all alias one
+// backing array: a and b are second names for base. The worker write
+// p[0] is through its own parameter (sharedwrite quiet) and the launch
+// is loop-keyed (shardwrite quiet), yet both instances hit base[0].
+func aliasedShards() int {
+	base := make([]int, 8)
+	a := base
+	b := base
+	parts := [][]int{a, b}
+	done := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		go func(p []int, w int) {
+			p[0] = w // want aliasrace
+			done <- struct{}{}
+		}(parts[w], w)
+	}
+	for i := 0; i < 2; i++ {
+		<-done
+	}
+	return base[0]
+}
+
+// privateBuffers allocates inside each goroutine body: the objects are
+// per-instance by position and the rule stays quiet.
+func privateBuffers() int {
+	done := make(chan int)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			buf := make([]int, 8)
+			buf[0] = w
+			done <- buf[0]
+		}(w)
+	}
+	return <-done + <-done
+}
+
+// keyedShards writes distinct elements of one shared object: the
+// outermost index step is the worker id, which is exactly the
+// disjointness argument the rule accepts for a singleton object.
+func keyedShards() int {
+	shared := make([]int, 2)
+	done := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			shared[w] = w
+			done <- struct{}{}
+		}(w)
+	}
+	for i := 0; i < 2; i++ {
+		<-done
+	}
+	return shared[0] + shared[1]
+}
+
+// fill writes the first slot of whatever slice it is handed; callers
+// decide whether that slot is shared.
+func fill(p []int, v int) {
+	p[0] = v // want aliasrace
+}
+
+// indirectAlias is the interprocedural fire: the racing write lives in
+// fill, two calls deep from the launch, and reaches the shared backing
+// array through argument binding — there is no captured name and no
+// write in the goroutine body at all.
+func indirectAlias() int {
+	backing := make([]int, 4)
+	x := backing
+	y := backing
+	done := make(chan struct{})
+	go func(p []int) {
+		fill(p, 1)
+		done <- struct{}{}
+	}(x)
+	go func(p []int) {
+		fill(p, 2)
+		done <- struct{}{}
+	}(y)
+	<-done
+	<-done
+	return backing[0]
+}
+
+// mergeStats aliases one accumulator across two goroutines on purpose
+// and documents why it is safe; the suppression carries the reasoning.
+func mergeStats() int {
+	acc := make([]int, 2)
+	left := acc
+	right := acc
+	done := make(chan struct{})
+	go func(p []int) {
+		//replint:ignore aliasrace -- fixture: left goroutine only touches index 0, right only index 1; disjoint by construction
+		p[0] = 1 // wantsuppressed aliasrace
+		done <- struct{}{}
+	}(left)
+	go func(p []int) {
+		//replint:ignore aliasrace -- fixture: left goroutine only touches index 0, right only index 1; disjoint by construction
+		p[1] = 2 // wantsuppressed aliasrace
+		done <- struct{}{}
+	}(right)
+	<-done
+	<-done
+	return acc[0] + acc[1]
+}

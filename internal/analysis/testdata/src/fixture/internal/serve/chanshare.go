@@ -1,0 +1,58 @@
+// Fixture for the chanshare rule: sending a pointer on a channel is an
+// ownership handoff, and a sender that keeps writing through a
+// retained alias races the receiver without ever sharing a variable
+// name — no capture, no `go` statement on the sender side, nothing the
+// syntactic rules can anchor on.
+package serve
+
+type payload struct {
+	n    int
+	data []int
+}
+
+// sendThenWrite mutates the payload it just handed off.
+func sendThenWrite(ch chan *payload) {
+	p := &payload{}
+	ch <- p
+	p.n = 1 // want chanshare
+}
+
+// scribble writes through whatever payload it is given.
+func scribble(p *payload) {
+	p.n = 2
+}
+
+// sendThenCall is the interprocedural fire: the post-send write lives
+// in scribble, reached through the retained alias in the argument.
+func sendThenCall(ch chan *payload) {
+	p := &payload{}
+	ch <- p
+	scribble(p) // want chanshare
+}
+
+// produce allocates a fresh payload per iteration — the healthy
+// pattern. The object is a per-iteration summary, so the cross-
+// iteration "write before send" reordering is not reported.
+func produce(ch chan *payload, n int) {
+	for i := 0; i < n; i++ {
+		p := &payload{n: i}
+		p.data = append(p.data, i)
+		ch <- p
+	}
+}
+
+// handoff sends and then drops every alias: nothing to report.
+func handoff(ch chan *payload) {
+	p := &payload{n: 7}
+	ch <- p
+}
+
+// sendThenFinalize documents a protocol where the write is sequenced
+// before the receive; the suppression carries the reasoning.
+func sendThenFinalize(ch chan *payload, ack chan struct{}) {
+	p := &payload{}
+	ch <- p
+	<-ack
+	//replint:ignore chanshare -- fixture: receiver sends on ack before reading p.n, so the write happens-before the read
+	p.n = 3 // wantsuppressed chanshare
+}

@@ -71,3 +71,11 @@ func malformedDirective(a, b float64) bool {
 	//replint:ignore floatcmp // want directive
 	return a != b // want floatcmp
 }
+
+// staleDirective names a rule that does not exist (a typo, or a rule
+// renamed after the suppression was written): the directive can never
+// match a finding, so it is reported rather than rotting silently.
+func staleDirective(a, b float64) bool {
+	//replint:ignore floatcompare -- fixture: suppression left behind by a rule rename // want directive
+	return a == b // want floatcmp
+}

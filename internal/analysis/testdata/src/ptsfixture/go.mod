@@ -1,0 +1,3 @@
+module ptsfixture
+
+go 1.22

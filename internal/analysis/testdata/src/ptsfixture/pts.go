@@ -1,0 +1,92 @@
+// Package pts is the points-to fixture: small functions whose solved
+// points-to sets the pointsto_test asserts through the Module.PointsTo
+// debug query. Line positions matter — the expected labels in the test
+// name them — so keep edits append-only where possible.
+package pts
+
+import "errors"
+
+type node struct {
+	next *node
+	tag  string
+}
+
+type shape interface{ area() float64 }
+
+type circle struct{ r float64 }
+
+func (c *circle) area() float64 { return c.r * c.r }
+
+type square struct{ s float64 }
+
+func (sq *square) area() float64 { return sq.s * sq.s }
+
+// chain: a plain assignment chain preserves the allocation site.
+func chain() *node {
+	a := &node{tag: "origin"}
+	b := a
+	c := b
+	return c
+}
+
+// fresh: new(T) is its own object kind.
+func fresh() *node {
+	p := new(node)
+	return p
+}
+
+// dispatch: interface values ranged out of a slice literal carry every
+// implementation stored into it (slice element flow + dispatch).
+func dispatch() float64 {
+	shapes := []shape{&circle{r: 1}, &square{s: 2}}
+	total := 0.0
+	for _, s := range shapes {
+		total += s.area()
+	}
+	return total
+}
+
+// channels: a send threads the payload to the receive.
+func channels() *node {
+	ch := make(chan *node, 1)
+	ch <- &node{tag: "sent"}
+	got := <-ch
+	return got
+}
+
+// capture: a closure stores through a captured variable; the binding
+// survives the call of the bound literal.
+func capture() *node {
+	var kept *node
+	save := func(n *node) { kept = n }
+	save(&node{tag: "kept"})
+	return kept
+}
+
+// buildMap / readMap: map element flow across a function boundary.
+func buildMap() map[string]*node {
+	m := make(map[string]*node)
+	m["a"] = &node{tag: "a"}
+	return m
+}
+
+func readMap() *node {
+	m := buildMap()
+	v := m["a"]
+	return v
+}
+
+// external: unresolved callees yield per-site extern objects.
+func external() error {
+	err := errors.New("boom")
+	return err
+}
+
+// fields: field-sensitive stores keep next and tag flows apart.
+func fields() *node {
+	head := &node{tag: "head"}
+	tail := &node{tag: "tail"}
+	head.next = tail
+	n := head.next
+	return n
+}
