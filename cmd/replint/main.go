@@ -13,14 +13,20 @@
 // need module-wide facts); the package arguments select which
 // packages' findings are reported.
 //
-// With -cache-dir, replint keeps a per-package fact cache keyed by a
-// content hash of each package's sources, its module-local import
-// closure, the rule set, and the toolchain version. A fully warm run
+// With -cache-dir, replint keeps a two-tier per-package fact cache.
+// Closure-local rule findings are keyed by a content hash of the
+// package's sources, its module-local import closure, the rule set,
+// and the toolchain version; module-wide rule findings (interface
+// dispatch, reverse call edges, global field facts, caller-bound
+// points-to sets — anything an edit elsewhere in the module can
+// change) are keyed by a whole-module content hash. A fully warm run
 // skips loading and type-checking the module entirely and replays the
-// stored findings byte-identically; editing one file invalidates only
-// that package and its reverse dependencies. -no-cache bypasses the
-// cache without deleting it. On the all-hit fast path no type checking
-// happens, so -v has no type-check diagnostics to show.
+// stored findings byte-identically. Editing one file fully rebuilds
+// only that package and its reverse dependencies; other packages
+// replay their closure-local findings and re-run just the module-wide
+// rules, so stale cross-package facts can never be replayed. -no-cache
+// bypasses the cache without deleting it. On the all-hit fast path no
+// type checking happens, so -v has no type-check diagnostics to show.
 //
 // Findings print with paths relative to the module root regardless of
 // -C or the working directory, so editor jump-to-line works from
@@ -28,8 +34,8 @@
 // every output mode. With -json, output is an object
 // {"findings": [...], "cache": {...}} where findings carry
 // {file, line, col, rule, msg, suppressed, reason} and cache reports
-// {enabled, hits, misses, fact_builds} — suppressed findings included
-// and flagged. With -sarif, findings are emitted as a SARIF 2.1.0 log
+// {enabled, hits, misses, fact_builds, mod_refreshes} — suppressed
+// findings included and flagged. With -sarif, findings are emitted as a SARIF 2.1.0 log
 // suitable for GitHub code scanning upload: unsuppressed findings are
 // level=error, suppressed ones are level=note with an inSource
 // suppression carrying the directive's justification.
@@ -69,11 +75,19 @@ type jsonFinding struct {
 // cacheStats is the -json wire form of the fact-cache counters.
 type cacheStats struct {
 	Enabled bool `json:"enabled"`
-	Hits    int  `json:"hits"`
-	Misses  int  `json:"misses"`
-	// FactBuilds counts packages whose facts were recomputed this run:
-	// zero on a fully warm cache, len(packages) with the cache disabled.
+	// Hits counts packages whose closure-local findings replayed from
+	// the cache (full and partial hits both: neither re-runs the local
+	// rule tier).
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// FactBuilds counts packages whose facts were recomputed in full
+	// this run: zero on a fully warm cache, len(packages) with the
+	// cache disabled.
 	FactBuilds int `json:"fact_builds"`
+	// ModRefreshes counts partial hits: packages whose module-wide
+	// rules re-ran because some other module package changed, while
+	// their closure-local findings replayed from the cache.
+	ModRefreshes int `json:"mod_refreshes"`
 }
 
 // jsonOutput is the top-level -json envelope.
@@ -152,19 +166,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return filepath.ToSlash(name)
 	}
 
-	// Cache lookup phase: resolve each requested package to cached
-	// findings where the content key matches; everything else is
-	// rebuilt below. Key computation parses import clauses only — on a
+	// Cache lookup phase: resolve each requested package against both
+	// content keys. Key computation parses import clauses only — on a
 	// fully warm cache the module is never loaded or type-checked.
+	// Outcomes per package:
+	//   full hit      both tiers replay, no work;
+	//   partial hit   closure key matches but another module package
+	//                 changed — local findings replay, the module-wide
+	//                 rules re-run (their facts cross the closure);
+	//   miss          the package or an import changed — full re-run.
 	var cache *analysis.FactCache
 	var keys map[string]string
+	var modKey string
 	if *cacheDir != "" && !*noCache {
 		cache, err = analysis.NewFactCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(stderr, "replint:", err)
 			return 2
 		}
-		keys, err = analysis.PackageKeys(loader, analysis.All(), paths)
+		keys, modKey, err = analysis.CacheKeys(loader, analysis.All(), paths)
 		if err != nil {
 			// Unkeyable tree (e.g. a parse error): fall back to a full
 			// uncached run rather than failing the lint.
@@ -173,11 +193,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 	results := map[string][]analysis.CachedFinding{}
-	var missed []string
+	cachedLocal := map[string][]analysis.CachedFinding{}
+	var missed, stale []string
 	for _, path := range paths {
 		if cache != nil {
-			if cfs, ok := cache.Get(path, keys[path]); ok {
-				results[path] = cfs
+			local, mod, localOK, modOK := cache.Get(path, keys[path], modKey)
+			if localOK && modOK {
+				results[path] = append(local, mod...)
+				continue
+			}
+			if localOK {
+				cachedLocal[path] = local
+				stale = append(stale, path)
 				continue
 			}
 		}
@@ -185,15 +212,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	// Rebuild phase: load the whole module once (the interprocedural
-	// rules need module-wide facts) and analyze the missed packages in
+	// rules need module-wide facts), run the full catalog over missed
+	// packages and only the module-wide subset over stale ones, in
 	// parallel.
-	if len(missed) > 0 {
+	if len(missed)+len(stale) > 0 {
 		mod, err := analysis.BuildModule(loader)
 		if err != nil {
 			fmt.Fprintln(stderr, "replint:", err)
 			return 2
 		}
-		for _, path := range missed {
+		for _, path := range append(append([]string{}, missed...), stale...) {
 			pkg := mod.Package(path)
 			if pkg == nil {
 				fmt.Fprintf(stderr, "replint: %s: not part of the module\n", path)
@@ -205,18 +233,39 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
-		for path, fs := range mod.RunPackages(missed, analysis.All(), 0) {
-			cfs := []analysis.CachedFinding{}
+		toCached := func(fs []analysis.Finding) (local, modWide []analysis.CachedFinding) {
+			local, modWide = []analysis.CachedFinding{}, []analysis.CachedFinding{}
 			for _, f := range fs {
-				cfs = append(cfs, analysis.CachedFinding{
+				cf := analysis.CachedFinding{
 					File: relFile(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column,
 					Rule: f.Rule, Msg: f.Msg,
 					Suppressed: f.Suppressed, Reason: f.Reason,
-				})
+				}
+				if analysis.IsModWide(f.Rule) {
+					modWide = append(modWide, cf)
+				} else {
+					local = append(local, cf)
+				}
 			}
-			results[path] = cfs
+			return local, modWide
+		}
+		for path, fs := range mod.RunPackages(missed, analysis.All(), 0) {
+			local, modWide := toCached(fs)
+			results[path] = append(local, modWide...)
 			if cache != nil {
-				if err := cache.Put(path, keys[path], cfs); err != nil {
+				if err := cache.Put(path, keys[path], modKey, local, modWide); err != nil {
+					fmt.Fprintln(stderr, "replint: cache write:", err)
+				}
+			}
+		}
+		if len(stale) > 0 {
+			for path, fs := range mod.RunPackages(stale, analysis.ModWideAnalyzers(), 0) {
+				// The subset run re-emits directive findings; those are
+				// closure-local and already replayed from the cache, so
+				// keep only the module-wide rules' findings.
+				_, modWide := toCached(fs)
+				results[path] = append(cachedLocal[path], modWide...)
+				if err := cache.Put(path, keys[path], modKey, cachedLocal[path], modWide); err != nil {
 					fmt.Fprintln(stderr, "replint: cache write:", err)
 				}
 			}
@@ -240,12 +289,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		// Total order: two findings can share a position and rule but
+		// differ in message (e.g. one racing write reaching two abstract
+		// objects), and sort.Slice is unstable.
+		return a.Msg < b.Msg
 	})
 
-	stats := cacheStats{Enabled: cache != nil, FactBuilds: len(missed)}
+	stats := cacheStats{Enabled: cache != nil, FactBuilds: len(missed), ModRefreshes: len(stale)}
 	if cache != nil {
-		stats.Hits, stats.Misses = cache.Hits(), cache.Misses()
+		stats.Hits, stats.Misses = cache.Hits()+cache.Partials(), cache.Misses()
 	}
 
 	machine := *asJSON || *asSARIF
@@ -297,8 +352,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if cache != nil {
-		fmt.Fprintf(stderr, "replint: cache: %d hit(s), %d miss(es), %d fact build(s)\n",
-			stats.Hits, stats.Misses, stats.FactBuilds)
+		fmt.Fprintf(stderr, "replint: cache: %d hit(s), %d miss(es), %d fact build(s), %d mod-rule refresh(es)\n",
+			stats.Hits, stats.Misses, stats.FactBuilds, stats.ModRefreshes)
 	}
 	if bad > 0 {
 		fmt.Fprintf(stderr, "replint: %d finding(s)\n", bad)

@@ -262,6 +262,21 @@ func TestCacheInvalidation(t *testing.T) {
 	if edited.Cache.Hits != total-1 {
 		t.Errorf("after one-file edit: %d hits, want %d", edited.Cache.Hits, total-1)
 	}
+	// The edit rotates the whole-module key, so every OTHER package must
+	// re-run its module-wide rules (their facts cross the import
+	// closure) while replaying closure-local findings from the cache.
+	if edited.Cache.ModRefreshes != total-1 {
+		t.Errorf("after one-file edit: %d mod-rule refreshes, want %d",
+			edited.Cache.ModRefreshes, total-1)
+	}
+
+	// A third run over the now-unchanged tree is fully warm again: the
+	// partial entries were rewritten under the new module key.
+	warm, _ := replintJSON(t, root, "-cache-dir", cacheDir)
+	if warm.Cache.Hits != total || warm.Cache.Misses != 0 ||
+		warm.Cache.FactBuilds != 0 || warm.Cache.ModRefreshes != 0 {
+		t.Errorf("re-warmed run: %+v, want %d full hits and no rebuilds", warm.Cache, total)
+	}
 }
 
 // TestNoCacheFlag: -no-cache bypasses a populated cache entirely.

@@ -44,7 +44,10 @@ var AliasRace = &Analyzer{
 		"least one unsynchronized, un-shard-keyed write (points-to based: " +
 		"catches aliased writes through a second name that the syntactic " +
 		"capture rules miss)",
-	Run: runAliasRace,
+	// ModWide: points-to sets fold in caller bindings and
+	// interface impls from anywhere in the module.
+	ModWide: true,
+	Run:     runAliasRace,
 }
 
 func runAliasRace(pass *Pass) {
@@ -172,6 +175,12 @@ func checkAliasRaces(pass *Pass, f *ModFunc) {
 				continue
 			}
 			checkLaunchPair(pass, f, a, b, reported)
+			if i != j {
+				// checkLaunchPair pairs writes of its first launch against
+				// accesses of its second; a race where only the later
+				// launch writes needs the sides swapped.
+				checkLaunchPair(pass, f, b, a, reported)
+			}
 		}
 	}
 }

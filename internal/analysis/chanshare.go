@@ -18,7 +18,8 @@ import (
 // iteration — are exactly the "fresh value each send" pattern and are
 // excluded) and reports:
 //
-//   - direct writes in the same flow context, textually after the send,
+//   - direct writes in the same flow context — or in a non-launched
+//     nested literal of it, e.g. a defer — textually after the send,
 //     that reach one of the sent objects with no lock held and no
 //     atomic — the sender mutating what it just handed off;
 //   - calls after the send that pass an alias of a sent object to a
@@ -36,7 +37,10 @@ var ChanShare = &Analyzer{
 	Doc: "flags values sent on a channel while the sender retains a written " +
 		"alias (send-then-mutate races the receiver without any shared " +
 		"variable name); hand off ownership or send a copy",
-	Run: runChanShare,
+	// ModWide: points-to sets fold in caller bindings and
+	// interface impls from anywhere in the module.
+	ModWide: true,
+	Run:     runChanShare,
 }
 
 func runChanShare(pass *Pass) {
@@ -82,8 +86,10 @@ func checkChanShareCtx(pass *Pass, f *ModFunc, fc flowCtx) {
 			continue
 		}
 
-		// Direct writes after the send in this context.
-		for _, acc := range mod.heap.byCtx[fc.body] {
+		// Direct writes after the send in this context — including its
+		// non-launched nested literals (a deferred func(){ p.x = 1 }()
+		// after the send still mutates on the sender's goroutine).
+		for _, acc := range mod.heap.ownAccesses(fc.body) {
 			if !acc.write || acc.atomic || len(acc.held) > 0 {
 				continue
 			}

@@ -19,7 +19,7 @@ import (
 // FactVersion names the fact-cache schema and analyzer generation.
 // Bump it whenever rule logic, the points-to layer, or the cached
 // finding format changes in a way that should invalidate every entry.
-const FactVersion = "replint-facts-v1"
+const FactVersion = "replint-facts-v2"
 
 // CachedFinding is the serialized form of one finding: positions are
 // module-relative forward-slash paths, so an entry written on one
@@ -34,26 +34,41 @@ type CachedFinding struct {
 	Reason     string `json:"reason,omitempty"`
 }
 
-// factEntry is the on-disk record for one package.
+// factEntry is the on-disk record for one package. Findings are stored
+// in two tiers because they have two distinct validity domains:
+// closure-local rules read nothing beyond the package and its imports,
+// while module-wide rules (Analyzer.ModWide) consume facts — interface
+// impls, reverse call edges, global field facts, caller-bound points-to
+// sets — that an edit to ANY module package can change.
 type factEntry struct {
 	// Path is the package import path, recorded for debuggability.
 	Path string `json:"path"`
-	// Key is the content key the findings were computed under.
+	// Key is the import-closure content key Findings were computed under.
 	Key string `json:"key"`
-	// Findings are the package's findings, suppressed ones included.
+	// ModKey is the whole-module content key ModFindings were computed
+	// under.
+	ModKey string `json:"mod_key"`
+	// Findings are the closure-local rules' findings (directive findings
+	// included), suppressed ones included.
 	Findings []CachedFinding `json:"findings"`
+	// ModFindings are the module-wide rules' findings.
+	ModFindings []CachedFinding `json:"mod_findings"`
 }
 
-// FactCache persists per-package findings keyed by a content hash of
-// the package's sources and its module-local import closure. A hit
-// means the analyzers would recompute exactly what is stored, so the
-// expensive module build can be skipped for that package.
+// FactCache persists per-package findings in two tiers: closure-local
+// findings keyed by a content hash of the package's sources and its
+// module-local import closure, and module-wide findings keyed by a hash
+// of the entire module. A full hit means the analyzers would recompute
+// exactly what is stored; a partial hit (closure key matches, module
+// key stale) replays the local tier and re-runs only the module-wide
+// rules.
 type FactCache struct {
 	Dir string
 
-	mu     sync.Mutex
-	hits   int
-	misses int
+	mu       sync.Mutex
+	hits     int
+	partials int
+	misses   int
 }
 
 // NewFactCache opens (creating if needed) a cache rooted at dir.
@@ -64,14 +79,25 @@ func NewFactCache(dir string) (*FactCache, error) {
 	return &FactCache{Dir: dir}, nil
 }
 
-// Hits returns the number of successful lookups so far.
+// Hits returns the number of full hits so far: lookups where both the
+// closure key and the module key matched.
 func (c *FactCache) Hits() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits
 }
 
-// Misses returns the number of failed lookups so far.
+// Partials returns the number of partial hits so far: the closure key
+// matched (local findings replay) but the module key was stale, so the
+// module-wide rules must re-run for the package.
+func (c *FactCache) Partials() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.partials
+}
+
+// Misses returns the number of failed lookups so far: no entry, or the
+// package's own closure key changed.
 func (c *FactCache) Misses() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -89,26 +115,39 @@ func (c *FactCache) entryFile(path string) string {
 	return filepath.Join(c.Dir, hex.EncodeToString(sum[:8])+"-"+base+".json")
 }
 
-// Get returns the cached findings for path if an entry exists and was
-// written under the same content key. The bool reports the hit.
-func (c *FactCache) Get(path, key string) ([]CachedFinding, bool) {
+// Get looks up path's entry against both content keys. localOK reports
+// that the entry exists and was written under the same closure key, so
+// local replays the closure-local findings; modOK additionally reports
+// that the module key matched, so mod replays the module-wide findings
+// too. On a partial hit (localOK without modOK) mod is nil and the
+// caller must re-run the module-wide rules for the package.
+func (c *FactCache) Get(path, key, modKey string) (local, mod []CachedFinding, localOK, modOK bool) {
 	data, err := os.ReadFile(c.entryFile(path))
 	if err != nil {
 		c.miss()
-		return nil, false
+		return nil, nil, false, false
 	}
 	var e factEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.Path != path {
 		c.miss()
-		return nil, false
+		return nil, nil, false, false
+	}
+	if e.Findings == nil {
+		e.Findings = []CachedFinding{}
+	}
+	if e.ModKey != modKey {
+		c.mu.Lock()
+		c.partials++
+		c.mu.Unlock()
+		return e.Findings, nil, true, false
 	}
 	c.mu.Lock()
 	c.hits++
 	c.mu.Unlock()
-	if e.Findings == nil {
-		e.Findings = []CachedFinding{}
+	if e.ModFindings == nil {
+		e.ModFindings = []CachedFinding{}
 	}
-	return e.Findings, true
+	return e.Findings, e.ModFindings, true, true
 }
 
 func (c *FactCache) miss() {
@@ -117,13 +156,20 @@ func (c *FactCache) miss() {
 	c.mu.Unlock()
 }
 
-// Put stores findings for path under key, atomically (write to a temp
-// file in the same directory, then rename).
-func (c *FactCache) Put(path, key string, findings []CachedFinding) error {
-	if findings == nil {
-		findings = []CachedFinding{}
+// Put stores the two finding tiers for path under their respective
+// keys, atomically (write to a temp file in the same directory, then
+// rename).
+func (c *FactCache) Put(path, key, modKey string, local, mod []CachedFinding) error {
+	if local == nil {
+		local = []CachedFinding{}
 	}
-	data, err := json.MarshalIndent(factEntry{Path: path, Key: key, Findings: findings}, "", "  ")
+	if mod == nil {
+		mod = []CachedFinding{}
+	}
+	data, err := json.MarshalIndent(factEntry{
+		Path: path, Key: key, ModKey: modKey,
+		Findings: local, ModFindings: mod,
+	}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -237,9 +283,11 @@ func (k *factKeyer) Key(path string) (string, error) {
 	return key, nil
 }
 
-// PackageKeys computes the content key of every listed module package
-// using the loader's file discovery, without loading the module. The
-// result maps import path to key.
+// PackageKeys computes the import-closure content key of every listed
+// module package using the loader's file discovery, without loading the
+// module. The result maps import path to key. Closure keys validate
+// only the closure-local rule tier; module-wide findings need the
+// whole-module key from CacheKeys/ModuleKey.
 func PackageKeys(l *Loader, analyzers []*Analyzer, paths []string) (map[string]string, error) {
 	k := newFactKeyer(l, analyzers)
 	out := make(map[string]string, len(paths))
@@ -251,4 +299,53 @@ func PackageKeys(l *Loader, analyzers []*Analyzer, paths []string) (map[string]s
 		out[p] = key
 	}
 	return out, nil
+}
+
+// moduleKey folds every module package's closure key into one
+// fingerprint of the entire module's sources (plus, through the
+// per-package keys, the rule set and toolchain version). Module-wide
+// rule findings are valid only under this key: interface dispatch, the
+// reverse call graph, global field facts, and caller-bound points-to
+// sets let an edit ANYWHERE in the module change any package's
+// findings, even outside its import closure.
+func (k *factKeyer) moduleKey() (string, error) {
+	all, err := k.l.Expand([]string{"./..."})
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "module\x00%s\x00", FactVersion)
+	for _, p := range all { // Expand returns sorted paths
+		pk, err := k.Key(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%s\x00", p, pk)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ModuleKey computes the whole-module content key on its own keyer.
+func ModuleKey(l *Loader, analyzers []*Analyzer) (string, error) {
+	return newFactKeyer(l, analyzers).moduleKey()
+}
+
+// CacheKeys computes the import-closure key of every requested package
+// plus the whole-module key, sharing one keyer so each package's
+// sources are read and parsed once.
+func CacheKeys(l *Loader, analyzers []*Analyzer, paths []string) (map[string]string, string, error) {
+	k := newFactKeyer(l, analyzers)
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		key, err := k.Key(p)
+		if err != nil {
+			return nil, "", err
+		}
+		out[p] = key
+	}
+	modKey, err := k.moduleKey()
+	if err != nil {
+		return nil, "", err
+	}
+	return out, modKey, nil
 }

@@ -109,49 +109,61 @@ func TestFactKeyInvalidation(t *testing.T) {
 	}
 }
 
-// TestFactCacheRoundTrip: Put then Get replays findings byte-identically
-// under the same key, misses under a different key or unknown path, and
-// the hit/miss counters track each outcome.
+// TestFactCacheRoundTrip: Put then Get replays both finding tiers
+// byte-identically under matching keys, degrades to a partial hit when
+// only the module key went stale, misses under a changed closure key or
+// unknown path, and the hit/partial/miss counters track each outcome.
 func TestFactCacheRoundTrip(t *testing.T) {
 	cache, err := NewFactCache(filepath.Join(t.TempDir(), "facts"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []CachedFinding{
+	local := []CachedFinding{
 		{File: "a/a.go", Line: 3, Col: 2, Rule: "maprange", Msg: "m"},
-		{File: "a/a.go", Line: 9, Col: 1, Rule: "floatcmp", Msg: "f", Suppressed: true, Reason: "r"},
 	}
-	if err := cache.Put("mod/a", "key1", want); err != nil {
+	modWide := []CachedFinding{
+		{File: "a/a.go", Line: 9, Col: 1, Rule: "aliasrace", Msg: "f", Suppressed: true, Reason: "r"},
+	}
+	if err := cache.Put("mod/a", "key1", "mk1", local, modWide); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := cache.Get("mod/a", "key1")
-	if !ok || !reflect.DeepEqual(got, want) {
-		t.Errorf("Get after Put = %v, %v; want %v, true", got, ok, want)
+	gl, gm, lok, mok := cache.Get("mod/a", "key1", "mk1")
+	if !lok || !mok || !reflect.DeepEqual(gl, local) || !reflect.DeepEqual(gm, modWide) {
+		t.Errorf("full Get = %v, %v, %v, %v; want both tiers replayed", gl, gm, lok, mok)
 	}
-	if _, ok := cache.Get("mod/a", "key2"); ok {
-		t.Error("Get with changed key hit; want miss")
+
+	// Stale module key: local findings replay, module-wide ones do not.
+	gl, gm, lok, mok = cache.Get("mod/a", "key1", "mk2")
+	if !lok || mok || !reflect.DeepEqual(gl, local) || gm != nil {
+		t.Errorf("partial Get = %v, %v, %v, %v; want local tier only", gl, gm, lok, mok)
 	}
-	if _, ok := cache.Get("mod/b", "key1"); ok {
+
+	if _, _, lok, _ := cache.Get("mod/a", "key2", "mk1"); lok {
+		t.Error("Get with changed closure key hit; want miss")
+	}
+	if _, _, lok, _ := cache.Get("mod/b", "key1", "mk1"); lok {
 		t.Error("Get of unknown path hit; want miss")
 	}
-	if cache.Hits() != 1 || cache.Misses() != 2 {
-		t.Errorf("counters = %d hits / %d misses, want 1 / 2", cache.Hits(), cache.Misses())
+	if cache.Hits() != 1 || cache.Partials() != 1 || cache.Misses() != 2 {
+		t.Errorf("counters = %d hits / %d partials / %d misses, want 1 / 1 / 2",
+			cache.Hits(), cache.Partials(), cache.Misses())
 	}
 
 	// Empty finding sets are cached too: a clean package on a warm run
 	// must count as a hit, not be recomputed forever.
-	if err := cache.Put("mod/clean", "k", nil); err != nil {
+	if err := cache.Put("mod/clean", "k", "mk", nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, ok = cache.Get("mod/clean", "k")
-	if !ok || len(got) != 0 || got == nil {
-		t.Errorf("empty-set entry = %v, %v; want [], true", got, ok)
+	gl, gm, lok, mok = cache.Get("mod/clean", "k", "mk")
+	if !lok || !mok || gl == nil || gm == nil || len(gl)+len(gm) != 0 {
+		t.Errorf("empty-set entry = %v, %v, %v, %v; want [], [], true, true", gl, gm, lok, mok)
 	}
 }
 
 // TestFactCacheEndToEnd drives the full warm-run contract at the API
 // level: run the analyzers, Put per package, recompute keys without
-// rebuilding, and require every lookup to hit with identical findings.
+// rebuilding, and require every lookup to fully hit with identical
+// findings in both tiers.
 func TestFactCacheEndToEnd(t *testing.T) {
 	dir := cacheModule(t)
 	paths := []string{"cachefix", "cachefix/mid", "cachefix/leaf"}
@@ -160,7 +172,7 @@ func TestFactCacheEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys, err := PackageKeys(loader, All(), paths)
+	keys, modKey, err := CacheKeys(loader, All(), paths)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,26 +184,29 @@ func TestFactCacheEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stored := map[string][]CachedFinding{}
+	storedLocal := map[string][]CachedFinding{}
+	storedMod := map[string][]CachedFinding{}
 	for _, p := range paths {
-		var cfs []CachedFinding
+		local, modWide := []CachedFinding{}, []CachedFinding{}
 		for _, f := range mod.RunPackage(mod.Package(p), All()) {
 			rel, err := filepath.Rel(dir, f.Pos.Filename)
 			if err != nil {
 				rel = f.Pos.Filename
 			}
-			cfs = append(cfs, CachedFinding{
+			cf := CachedFinding{
 				File: filepath.ToSlash(rel), Line: f.Pos.Line, Col: f.Pos.Column,
 				Rule: f.Rule, Msg: f.Msg, Suppressed: f.Suppressed, Reason: f.Reason,
-			})
+			}
+			if IsModWide(f.Rule) {
+				modWide = append(modWide, cf)
+			} else {
+				local = append(local, cf)
+			}
 		}
-		if err := cache.Put(p, keys[p], cfs); err != nil {
+		if err := cache.Put(p, keys[p], modKey, local, modWide); err != nil {
 			t.Fatal(err)
 		}
-		if cfs == nil {
-			cfs = []CachedFinding{}
-		}
-		stored[p] = cfs
+		storedLocal[p], storedMod[p] = local, modWide
 	}
 
 	// Warm run: fresh loader, fresh keyer, no module build.
@@ -199,21 +214,86 @@ func TestFactCacheEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	keys2, err := PackageKeys(loader2, All(), paths)
+	keys2, modKey2, err := CacheKeys(loader2, All(), paths)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if modKey2 != modKey {
+		t.Errorf("module key unstable over unchanged tree: %s vs %s", modKey, modKey2)
+	}
 	for _, p := range paths {
-		got, ok := cache.Get(p, keys2[p])
-		if !ok {
-			t.Errorf("warm run: %s missed the cache", p)
+		local, modWide, lok, mok := cache.Get(p, keys2[p], modKey2)
+		if !lok || !mok {
+			t.Errorf("warm run: %s missed the cache (local %v, mod %v)", p, lok, mok)
 			continue
 		}
-		if !reflect.DeepEqual(got, stored[p]) {
-			t.Errorf("warm run: %s replayed %v, want %v", p, got, stored[p])
+		if !reflect.DeepEqual(local, storedLocal[p]) || !reflect.DeepEqual(modWide, storedMod[p]) {
+			t.Errorf("warm run: %s replayed %v + %v, want %v + %v",
+				p, local, modWide, storedLocal[p], storedMod[p])
 		}
 	}
-	if cache.Misses() != 0 {
-		t.Errorf("warm run recorded %d misses, want 0", cache.Misses())
+	if cache.Misses() != 0 || cache.Partials() != 0 {
+		t.Errorf("warm run recorded %d misses / %d partials, want 0 / 0",
+			cache.Misses(), cache.Partials())
+	}
+}
+
+// TestModuleKeyOutOfClosureEdit pins the regression the module key
+// exists for: module-wide rule findings of a package can change when a
+// package OUTSIDE its import closure is edited (interface impls,
+// reverse call edges, global field facts, caller-bound points-to sets
+// are all module-global). Editing the root — which the leaf does not
+// import — must leave the leaf's closure key intact but rotate the
+// module key, so a lookup degrades to a partial hit and the module-wide
+// rules re-run instead of replaying potentially wrong findings.
+func TestModuleKeyOutOfClosureEdit(t *testing.T) {
+	dir := cacheModule(t)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, modKey, err := CacheKeys(loader, All(), []string{"cachefix/leaf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewFactCache(filepath.Join(t.TempDir(), "facts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := []CachedFinding{{File: "leaf/leaf.go", Line: 3, Col: 1, Rule: "maprange", Msg: "m"}}
+	modWide := []CachedFinding{{File: "leaf/leaf.go", Line: 3, Col: 1, Rule: "aliasrace", Msg: "r"}}
+	if err := cache.Put("cachefix/leaf", keys["cachefix/leaf"], modKey, local, modWide); err != nil {
+		t.Fatal(err)
+	}
+
+	root := filepath.Join(dir, "root.go")
+	src, err := os.ReadFile(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(root, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader2, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys2, modKey2, err := CacheKeys(loader2, All(), []string{"cachefix/leaf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys2["cachefix/leaf"] != keys["cachefix/leaf"] {
+		t.Error("root edit changed the leaf's closure key; leaf does not import the root")
+	}
+	if modKey2 == modKey {
+		t.Error("root edit did not change the module key")
+	}
+	gl, gm, lok, mok := cache.Get("cachefix/leaf", keys2["cachefix/leaf"], modKey2)
+	if !lok || mok {
+		t.Errorf("out-of-closure edit: lookup = local %v, mod %v; want partial hit (true, false)", lok, mok)
+	}
+	if !reflect.DeepEqual(gl, local) || gm != nil {
+		t.Errorf("partial hit replayed %v + %v; want local tier only (%v, nil)", gl, gm, local)
 	}
 }

@@ -193,7 +193,12 @@ func (h *heapFacts) collectNode(f *ModFunc, n ast.Node, held map[types.Object]bo
 	pa := h.mod.pts
 	pkg := f.Pkg
 
-	// Spans of sync/atomic call arguments: accesses inside are atomic.
+	// Spans of sync/atomic address operands: only the storage the call
+	// actually operates on atomically — the receiver of an atomic-type
+	// method (c.n.Add(1)), or the *addr first argument of a package-
+	// level function (atomic.AddInt64(&c.n, d)). Value arguments are
+	// evaluated as ordinary reads: in atomic.AddInt64(&c.n, f(s.f)),
+	// s.f gets no atomicity.
 	var atomicSpans []posRange
 	inspectOwned(n, func(inner ast.Node) bool {
 		call, ok := inner.(*ast.CallExpr)
@@ -203,7 +208,11 @@ func (h *heapFacts) collectNode(f *ModFunc, n ast.Node, held map[types.Object]bo
 		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 			if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
 				fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
-				atomicSpans = append(atomicSpans, posRange{call.Pos(), call.End()})
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					atomicSpans = append(atomicSpans, posRange{sel.X.Pos(), sel.X.End()})
+				} else if len(call.Args) > 0 {
+					atomicSpans = append(atomicSpans, posRange{call.Args[0].Pos(), call.Args[0].End()})
+				}
 			}
 		}
 		return true
@@ -321,6 +330,29 @@ func (h *heapFacts) writeTarget(f *ModFunc, lhs ast.Expr, add func(e, base ast.E
 	case *ast.StarExpr:
 		add(lv, lv.X, true, "")
 	}
+}
+
+// ownAccesses returns the accesses that run on body's own goroutine
+// without leaving the function: body's entries plus those of its
+// non-launched nested literal contexts, transitively (a deferred or
+// stored literal executes in the same goroutine; only `go`-launched
+// literals are excluded).
+func (h *heapFacts) ownAccesses(body *ast.BlockStmt) []heapAccess {
+	var out []heapAccess
+	seen := map[*ast.BlockStmt]bool{}
+	var add func(b *ast.BlockStmt)
+	add = func(b *ast.BlockStmt) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		out = append(out, h.byCtx[b]...)
+		for _, lit := range h.ctxLits[b] {
+			add(lit)
+		}
+	}
+	add(body)
+	return out
 }
 
 // transAccesses returns every access that may execute synchronously

@@ -37,7 +37,10 @@ var HotAlloc = &Analyzer{
 		"closures/appends to fresh locals) inside loops of functions reachable " +
 		"from embed Solve/SolveContext; hoist into solverScratch arenas or " +
 		"pre-size outside the loop",
-	Run: runHotAlloc,
+	// ModWide: hotness is reachability from Solve roots anywhere
+	// in the module, through interface edges resolved module-wide.
+	ModWide: true,
+	Run:     runHotAlloc,
 }
 
 // buildHotSet computes the functions reachable from the DP roots,

@@ -615,6 +615,12 @@ func (g *ptGen) genFunc() {
 			g.expr(st)
 		case *ast.CompositeLit:
 			g.expr(st)
+		case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr, *ast.SliceExpr:
+			// Access paths in plain read positions — binary operands, send
+			// values, conditions — reach no other case; evaluate them for
+			// the memo so the heap-effect walk can resolve their bases
+			// post-solve (evaluation is idempotent, parents won).
+			g.expr(n.(ast.Expr))
 		}
 		return true
 	})

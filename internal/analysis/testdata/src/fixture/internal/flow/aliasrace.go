@@ -8,6 +8,8 @@
 // knows better.
 package flow
 
+import "sync/atomic"
+
 // aliasedShards builds a shard table whose entries all alias one
 // backing array: a and b are second names for base. The worker write
 // p[0] is through its own parameter (sharedwrite quiet) and the launch
@@ -88,6 +90,72 @@ func indirectAlias() int {
 	<-done
 	<-done
 	return backing[0]
+}
+
+// readThenWrite races in the direction the pair walk used to skip: the
+// EARLIER launch only reads the shared backing array and only the LATER
+// launch writes it. Pairing writes of launch i against accesses of
+// launch j with j >= i never sees this write, so the symmetric check
+// must.
+func readThenWrite() int {
+	shared := make([]int, 4)
+	r := shared
+	w := shared
+	done := make(chan int)
+	go func(p []int) {
+		done <- p[0] // reader instance: no write on this side
+	}(r)
+	go func(p []int) {
+		p[0] = 1 // want aliasrace
+		done <- 0
+	}(w)
+	return <-done + <-done
+}
+
+// keyedWriterPlainReader is the case ONLY the swapped direction can
+// catch: the later launch's write is keyed by its own parameter, so the
+// writer discharges against itself (instances hit distinct elements),
+// but the earlier launch reads the same storage unkeyed. Writes of the
+// reader against the writer find nothing; only pairing the writer's
+// write against the reader's access reports.
+func keyedWriterPlainReader() int {
+	shared := make([]int, 2)
+	r := shared
+	w := shared
+	done := make(chan int)
+	go func(p []int) {
+		done <- p[0] + p[1] // unkeyed reads, no writes
+	}(r)
+	go func(p []int, k int) {
+		p[k] = k // want aliasrace
+		done <- 0
+	}(w, 1)
+	return <-done + <-done
+}
+
+// atomicValueArg pins the atomic-span precision: the AddInt64 call
+// updates total atomically, but its VALUE argument reads the shared
+// backing array — that read is an ordinary racy access. Marking the
+// whole call span atomic used to silently discharge it against the
+// writer (whose own keyed write discharges against itself, so this
+// pair is the only one that can report).
+func atomicValueArg() int64 {
+	var total int64
+	shared := make([]int, 1)
+	a := shared
+	b := shared
+	done := make(chan struct{})
+	go func(p []int, k int) {
+		p[k] = k + 1 // want aliasrace
+		done <- struct{}{}
+	}(a, 0)
+	go func(p []int) {
+		atomic.AddInt64(&total, int64(p[0]))
+		done <- struct{}{}
+	}(b)
+	<-done
+	<-done
+	return total
 }
 
 // mergeStats aliases one accumulator across two goroutines on purpose

@@ -47,6 +47,18 @@ func handoff(ch chan *payload) {
 	ch <- p
 }
 
+// sendThenDefer hides the post-send write inside a deferred function
+// literal: the defer runs on the sender's own goroutine after the send,
+// but its body is a separate flow context, so a scan of the sender's
+// context alone misses it.
+func sendThenDefer(ch chan *payload) {
+	p := &payload{}
+	ch <- p
+	defer func() {
+		p.n = 9 // want chanshare
+	}()
+}
+
 // sendThenFinalize documents a protocol where the write is sequenced
 // before the receive; the suppression carries the reasoning.
 func sendThenFinalize(ch chan *payload, ack chan struct{}) {
